@@ -1,0 +1,43 @@
+"""ABL-REPORT — ablation of the work-report threshold ``c`` and fanout ``m``.
+
+Section 6.3.1: "Sending work reports more rarely may decrease communication
+time and list contraction costs but may increase termination detection time,
+because of lack of information."  This benchmark sweeps the report threshold
+and fanout on the Figure 3 workload and reports traffic, contraction share and
+makespan so the trade-off is visible.
+"""
+
+import pytest
+
+from _harness import effective_scale, print_experiment
+from repro.analysis import format_table, reporting_ablation
+
+
+@pytest.mark.benchmark(group="ablation_reporting")
+def test_report_threshold_and_fanout_ablation(benchmark):
+    scale = effective_scale(0.3)
+    rows = benchmark.pedantic(
+        lambda: reporting_ablation(
+            thresholds=(1, 5, 10, 25, 50), fanouts=(1, 2, 4), n_workers=8, scale=scale
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_experiment(
+        f"ABLATION — work-report threshold c and fanout m (workload scale={scale:g})",
+        format_table(rows)
+        + "\n\nExpected trade-off (paper §6.3.1): frequent/wide reporting sends more\n"
+        "messages and spends more time contracting; rare/narrow reporting saves\n"
+        "traffic but delays termination detection and invites redundant work.",
+    )
+    assert all(row["solved_correctly"] for row in rows)
+
+    def traffic(threshold, fanout):
+        return next(
+            r["messages_sent"]
+            for r in rows
+            if r["report_threshold_c"] == threshold and r["report_fanout_m"] == fanout
+        )
+
+    # More frequent reporting and larger fanout send more messages.
+    assert traffic(1, 4) >= traffic(50, 1)

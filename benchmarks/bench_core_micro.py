@@ -1,0 +1,104 @@
+"""CORE-MICRO — micro-benchmarks of the fault-tolerance primitives.
+
+The paper charges "list contraction time" as one of the overhead components
+(Figure 3, Table 1).  These micro-benchmarks measure the primitives that cost
+is made of — inserting completed codes into the contracted table, merging a
+work report, computing the complement, and compressing an outgoing report —
+using pytest-benchmark's statistical timing (these are the only benchmarks in
+the harness that use repeated rounds; the experiment reproductions above run
+once by design).
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.codeset import CodeSet, contract
+from repro.core.complement import complement_frontier
+from repro.core.encoding import PathCode, ROOT
+from repro.core.work_report import compress_report_codes
+
+
+def perfect_tree_leaves(depth):
+    return [
+        PathCode(tuple((level, bit) for level, bit in enumerate(bits)))
+        for bits in itertools.product((0, 1), repeat=depth)
+    ]
+
+
+def random_deep_codes(n, depth, seed=0):
+    rng = random.Random(seed)
+    codes = []
+    for _ in range(n):
+        d = rng.randint(1, depth)
+        codes.append(PathCode(tuple((level, rng.randint(0, 1)) for level in range(d))))
+    return codes
+
+
+@pytest.mark.benchmark(group="core_micro")
+def test_codeset_insertion_perfect_tree(benchmark):
+    """Insert all leaves of a depth-12 tree (4096 codes) into a CodeSet."""
+    leaves = perfect_tree_leaves(12)
+
+    def run():
+        cs = CodeSet()
+        for leaf in leaves:
+            cs.add(leaf)
+        return cs
+
+    result = benchmark(run)
+    assert result.is_complete()
+
+
+@pytest.mark.benchmark(group="core_micro")
+def test_codeset_insertion_random_codes(benchmark):
+    """Insert 5,000 random codes of depth ≤ 20 (duplicates and overlaps included)."""
+    codes = random_deep_codes(5000, 20, seed=3)
+
+    def run():
+        cs = CodeSet()
+        for code in codes:
+            cs.add(code)
+        return cs
+
+    result = benchmark(run)
+    assert len(result) >= 1
+
+
+@pytest.mark.benchmark(group="core_micro")
+def test_contract_function(benchmark):
+    """One-shot contraction of 2,048 leaf codes (report compression path)."""
+    leaves = perfect_tree_leaves(11)
+    result = benchmark(lambda: contract(leaves))
+    assert result == {ROOT}
+
+
+@pytest.mark.benchmark(group="core_micro")
+def test_coverage_queries(benchmark):
+    """A million-ish coverage queries against a realistic contracted table."""
+    table = CodeSet(random_deep_codes(2000, 18, seed=5))
+    probes = random_deep_codes(5000, 18, seed=6)
+
+    def run():
+        return sum(1 for probe in probes if table.covers(probe))
+
+    covered = benchmark(run)
+    assert 0 <= covered <= len(probes)
+
+
+@pytest.mark.benchmark(group="core_micro")
+def test_complement_computation(benchmark):
+    """Complement of a partially completed depth-12 tree."""
+    leaves = perfect_tree_leaves(12)
+    table = CodeSet(leaves[: len(leaves) // 2])
+    frontier = benchmark(lambda: complement_frontier(table))
+    assert frontier
+
+
+@pytest.mark.benchmark(group="core_micro")
+def test_report_compression(benchmark):
+    """Compress an outgoing report of 1,024 completed codes."""
+    codes = perfect_tree_leaves(10)
+    compressed = benchmark(lambda: compress_report_codes(codes))
+    assert compressed == frozenset({ROOT})

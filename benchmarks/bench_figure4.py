@@ -1,0 +1,51 @@
+"""FIG4 — Figure 4: speedup and per-processor communication curves.
+
+Figure 4 plots, for the Table 1 problem, (a) execution time in hours versus
+the number of processors and (b) communication in MB/processor/hour versus the
+number of processors.  Both series are derived from the same runs as Table 1;
+this benchmark regenerates them and checks their shape: execution time falls
+monotonically (near-linear speedup), the communication rate rises.
+"""
+
+import pytest
+
+from _harness import effective_scale, print_experiment
+from repro.analysis import figure4_series, format_table, table1_rows
+
+
+PROCESSOR_COUNTS = (10, 30, 50, 70, 100)
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_speedup_and_communication(benchmark):
+    scale = effective_scale(0.06)
+
+    def run():
+        rows = table1_rows(processor_counts=PROCESSOR_COUNTS, scale=scale, seed=29)
+        return rows, figure4_series(rows)
+
+    rows, series = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = [
+        {
+            "processors": procs,
+            "execution_time_h": hours,
+            "comm_mb_per_hour_per_proc": comm,
+            "speedup": rows[i]["speedup"],
+        }
+        for i, ((procs, hours), (_p, comm)) in enumerate(
+            zip(series["execution_time_h"], series["comm_mb_per_hour_per_proc"])
+        )
+    ]
+    print_experiment(
+        f"FIGURE 4 — speedup and communication curves (workload scale={scale:g})",
+        format_table(table)
+        + "\n\nPaper reference (full size): execution time falls from ~7.9 h (10 procs) to\n"
+        "~1.0 h (100 procs); communication rises from ~1.0 to ~4.6 MB/processor/hour.",
+    )
+
+    hours = [h for _p, h in series["execution_time_h"]]
+    comm = [c for _p, c in series["comm_mb_per_hour_per_proc"]]
+    assert all(later <= earlier * 1.05 for earlier, later in zip(hours, hours[1:]))
+    assert comm[-1] > comm[0]
+    assert all(row["solved_correctly"] for row in rows)

@@ -1,0 +1,66 @@
+"""TAB1 — Table 1: large problem on 10–100 processors.
+
+Paper setting: a real problem with ≈79,600 expanded nodes, average node cost
+3.47 s (≈75 hours of uniprocessor execution), 10/30/50/70/100 processors.
+Reported columns: execution time (hours), % of time spent in B&B work, % spent
+in list contraction, storage space (total and redundant, MB) and communication
+volume (MB/hour/processor).
+
+Shape expected from the paper: near-linear speedup (7.93 h at 10 processors
+down to 1.04 h at 100), B&B share above ~80%, contraction share of a few
+percent at most, storage tens of MB system-wide, and a per-processor
+communication rate that *increases* with the processor count (1.01 →
+4.56 MB/h/processor).
+
+By default the workload is scaled down (see ``benchmarks/conftest.py``);
+``REPRO_FULL_SCALE=1`` reproduces the full-size configuration.
+"""
+
+import pytest
+
+from _harness import effective_scale, print_experiment
+from repro.analysis import format_table, table1_rows
+
+
+PROCESSOR_COUNTS = (10, 30, 50, 70, 100)
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_large_problem_scaling(benchmark):
+    scale = effective_scale(0.08)
+    rows = benchmark.pedantic(
+        lambda: table1_rows(processor_counts=PROCESSOR_COUNTS, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    print_experiment(
+        f"TABLE 1 — simulated execution of the large problem (workload scale={scale:g})",
+        format_table(
+            rows,
+            columns=[
+                "processors",
+                "execution_time_h",
+                "bb_time_pct",
+                "contraction_time_pct",
+                "storage_total_mb",
+                "storage_redundant_mb",
+                "comm_mb_per_hour_per_proc",
+                "speedup",
+                "redundant_work_fraction",
+                "solved_correctly",
+            ],
+        )
+        + "\n\nPaper reference (full size): 7.93 h / 98.1% BB at 10 procs ... 1.04 h / 84.4% BB\n"
+        "at 100 procs; storage 0.42 → 43.06 MB total (0.16 → 21.88 MB redundant);\n"
+        "communication 1.01 → 4.56 MB/hour/processor.",
+    )
+    assert all(row["solved_correctly"] for row in rows)
+    # Execution time decreases monotonically with more processors.
+    times = [row["execution_time_h"] for row in rows]
+    assert all(later <= earlier * 1.05 for earlier, later in zip(times, times[1:]))
+    # Per-processor communication rate grows with the processor count.
+    assert rows[-1]["comm_mb_per_hour_per_proc"] > rows[0]["comm_mb_per_hour_per_proc"]
+    # Storage grows with the processor count (information is replicated).
+    assert rows[-1]["storage_total_mb"] > rows[0]["storage_total_mb"]
+    # B&B work remains the dominant time component.
+    assert rows[0]["bb_time_pct"] > 80.0

@@ -1,0 +1,15 @@
+"""Pytest bootstrap for the benchmark harness.
+
+Adds ``src/`` and the benchmarks directory to ``sys.path`` so the benchmark
+modules can import the library and the shared :mod:`_harness` helpers from a
+plain source checkout.
+"""
+
+import sys
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+_SRC = _HERE.parent / "src"
+for path in (str(_SRC), str(_HERE)):
+    if path not in sys.path:
+        sys.path.insert(0, path)

@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``repro`` importable from the source tree.
+
+The package is normally installed with ``pip install -e .``; this fallback
+lets the test-suite and benchmarks run directly from a source checkout (for
+example on machines without network access to build-time dependencies).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

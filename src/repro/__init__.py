@@ -1,0 +1,36 @@
+"""repro — reproduction of Iamnitchi & Foster, "A Problem-Specific
+Fault-Tolerance Mechanism for Asynchronous, Distributed Systems" (ICPP 2000).
+
+The library implements the paper's decentralised, fault-tolerant parallel
+branch-and-bound algorithm and everything it stands on:
+
+* :mod:`repro.core` — the tree-code fault-tolerance mechanism (subproblem
+  encoding, completed-code contraction, complement/recovery, termination
+  detection, work reports);
+* :mod:`repro.bnb` — the branch-and-bound substrate (problem interface,
+  concrete problems, pools, sequential solver, basic trees);
+* :mod:`repro.simulation` — the discrete-event simulation substrate (engine,
+  network model, crash failures, metrics, timeline tracing);
+* :mod:`repro.gossip` — epidemic communication, group membership and failure
+  detection;
+* :mod:`repro.distributed` — the distributed algorithm itself (workers, load
+  balancing, runner, statistics);
+* :mod:`repro.baselines` — centralised manager/worker and DIB-style
+  comparison baselines;
+* :mod:`repro.realexec` — a small real ``multiprocessing`` backend;
+* :mod:`repro.analysis` — experiment sweeps and table/figure builders for the
+  paper's evaluation.
+
+Quickstart::
+
+    from repro.bnb import paper_workload
+    from repro.distributed import run_tree_simulation
+
+    tree = paper_workload("tiny")
+    result = run_tree_simulation(tree, n_workers=3, prune=False)
+    print(result.summary())
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,70 @@
+"""Plain-text table formatting for benchmark output and EXPERIMENTS.md.
+
+The benchmark harness prints rows that mirror the paper's tables and figure
+series; this module turns lists of dictionaries into aligned, readable text so
+the output can be pasted directly into EXPERIMENTS.md (and compared against
+the numbers quoted from the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_kv"]
+
+
+def _format_value(value: object, float_format: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = ".3f",
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned text table.
+
+    Parameters
+    ----------
+    rows:
+        A sequence of mappings; missing keys render as ``-``.
+    columns:
+        Column order; defaults to the keys of the first row.
+    float_format:
+        ``format()`` spec applied to floats.
+    title:
+        Optional heading line.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered: List[List[str]] = [[str(c) for c in cols]]
+    for row in rows:
+        rendered.append([_format_value(row.get(c), float_format) for c in cols])
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(cols))]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(rendered[0][i].ljust(widths[i]) for i in range(len(cols)))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered[1:]:
+        lines.append(" | ".join(row[i].ljust(widths[i]) for i in range(len(cols))))
+    return "\n".join(lines)
+
+
+def format_kv(data: Mapping[str, object], *, float_format: str = ".3f", title: Optional[str] = None) -> str:
+    """Render a single mapping as aligned ``key: value`` lines."""
+    width = max((len(str(k)) for k in data), default=0)
+    lines = [title] if title else []
+    for key, value in data.items():
+        lines.append(f"{str(key).ljust(width)} : {_format_value(value, float_format)}")
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Baseline parallel B&B designs the paper positions itself against.
+
+* :mod:`repro.baselines.central` — the classic centralised manager/worker
+  design (Section 3's related work), whose manager is a single point of
+  failure;
+* :mod:`repro.baselines.dib` — a DIB-style decentralised design with
+  responsibility tracking (Finkel & Manber 1987, Sections 3 and 5.5), which
+  recovers from worker failures by redoing handed-out work but depends on a
+  reliable root machine for termination.
+
+Both baselines run on the same simulation substrate and problem interface as
+the paper's algorithm, so the fault-tolerance benchmarks compare mechanisms,
+not implementations.
+"""
+
+from .central import (
+    CentralManagerEntity,
+    CentralRunResult,
+    CentralWorkerEntity,
+    run_central_simulation,
+)
+from .dib import DibRunResult, DibWorkerEntity, run_dib_simulation
+
+__all__ = [
+    "CentralManagerEntity",
+    "CentralWorkerEntity",
+    "CentralRunResult",
+    "run_central_simulation",
+    "DibWorkerEntity",
+    "DibRunResult",
+    "run_dib_simulation",
+]

@@ -1,0 +1,180 @@
+"""0/1 knapsack as a branch-and-bound problem.
+
+The knapsack problem plays the role of the paper's "real problems": an
+optimisation problem whose instrumented sequential solution produces the
+*basic trees* that drive the simulator.  Branching fixes one item at a time
+(variable *i*: value 1 = take item *i*, value 0 = leave it), and the bound is
+the classic Dantzig LP-relaxation (fill the remaining capacity greedily by
+value density, taking a fraction of the first item that does not fit).
+
+The problem is a **maximisation**; the library handles both senses uniformly,
+so knapsack also exercises the ``minimize=False`` code paths in tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .problem import BranchAndBoundProblem, BranchingDecision
+
+__all__ = ["KnapsackInstance", "KnapsackProblem", "KnapsackState", "random_knapsack"]
+
+
+@dataclass(frozen=True, slots=True)
+class KnapsackInstance:
+    """Immutable data of a 0/1 knapsack instance."""
+
+    values: Tuple[float, ...]
+    weights: Tuple[float, ...]
+    capacity: float
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.weights):
+            raise ValueError("values and weights must have the same length")
+        if any(w < 0 for w in self.weights) or any(v < 0 for v in self.values):
+            raise ValueError("weights and values must be non-negative")
+        if self.capacity < 0:
+            raise ValueError("capacity must be non-negative")
+
+    @property
+    def n_items(self) -> int:
+        """Number of items."""
+        return len(self.values)
+
+
+#: Knapsack subproblem state: ``(next_item_index, used_weight, current_value)``.
+#: Items with index < next_item_index have been decided (their contribution is
+#: folded into used_weight / current_value), the rest are free.
+KnapsackState = Tuple[int, float, float]
+
+
+class KnapsackProblem(BranchAndBoundProblem[KnapsackState]):
+    """Branch-and-bound formulation of 0/1 knapsack (maximisation)."""
+
+    minimize = False
+
+    def __init__(self, instance: KnapsackInstance) -> None:
+        self.instance = instance
+        # Items sorted by value density for the Dantzig bound; ties broken by
+        # index so the formulation (and therefore the recorded tree) is
+        # deterministic.
+        self._order = sorted(
+            range(instance.n_items),
+            key=lambda i: (
+                -(instance.values[i] / instance.weights[i]) if instance.weights[i] > 0 else float("-inf"),
+                i,
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # BranchAndBoundProblem interface
+    # ------------------------------------------------------------------ #
+    def root_state(self) -> KnapsackState:
+        return (0, 0.0, 0.0)
+
+    def bound(self, state: KnapsackState) -> float:
+        """Dantzig upper bound: greedy fractional fill of remaining capacity."""
+        next_index, used_weight, current_value = state
+        remaining = self.instance.capacity - used_weight
+        bound = current_value
+        for position in range(next_index, self.instance.n_items):
+            i = self._order[position]
+            w, v = self.instance.weights[i], self.instance.values[i]
+            if w <= remaining:
+                remaining -= w
+                bound += v
+            else:
+                if w > 0:
+                    bound += v * (remaining / w)
+                break
+        return bound
+
+    def feasible_value(self, state: KnapsackState) -> Optional[float]:
+        """Every state is feasible: the items taken so far fit by construction."""
+        _next_index, _used_weight, current_value = state
+        return current_value
+
+    def branching_decision(self, state: KnapsackState) -> Optional[BranchingDecision]:
+        next_index, _used_weight, _current_value = state
+        if next_index >= self.instance.n_items:
+            return None
+        # Branch on items in density order so strong decisions happen high in
+        # the tree (smaller trees, better compression in the work reports).
+        return BranchingDecision(self._order[next_index])
+
+    def apply_branch(self, state: KnapsackState, variable: int, value: int) -> Optional[KnapsackState]:
+        next_index, used_weight, current_value = state
+        expected = self._order[next_index] if next_index < self.instance.n_items else None
+        if variable != expected:
+            raise ValueError(
+                f"branching variable {variable} does not match the expected item {expected}"
+            )
+        if value == 0:
+            return (next_index + 1, used_weight, current_value)
+        new_weight = used_weight + self.instance.weights[variable]
+        if new_weight > self.instance.capacity:
+            return None  # taking the item violates the capacity: infeasible child
+        return (next_index + 1, new_weight, current_value + self.instance.values[variable])
+
+    # ------------------------------------------------------------------ #
+    # Reference solution
+    # ------------------------------------------------------------------ #
+    def solve_exact(self) -> float:
+        """Exact optimum by dynamic programming over scaled integer weights.
+
+        Used by tests to validate the B&B machinery end-to-end; only suitable
+        for the small instances the test-suite generates.
+        """
+        inst = self.instance
+        # Scale weights to integers (two decimal digits of precision).
+        scale = 100
+        cap = int(round(inst.capacity * scale))
+        weights = [int(round(w * scale)) for w in inst.weights]
+        best = [0.0] * (cap + 1)
+        for value, weight in zip(inst.values, weights):
+            if weight > cap:
+                continue
+            for c in range(cap, weight - 1, -1):
+                candidate = best[c - weight] + value
+                if candidate > best[c]:
+                    best[c] = candidate
+        return max(best)
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info.update({"items": self.instance.n_items, "capacity": self.instance.capacity})
+        return info
+
+
+def random_knapsack(
+    n_items: int,
+    *,
+    seed: int = 0,
+    capacity_ratio: float = 0.5,
+    correlated: bool = True,
+) -> KnapsackProblem:
+    """Generate a random knapsack instance.
+
+    ``correlated=True`` produces the classic "weakly correlated" family
+    (values close to weights) that yields non-trivial search trees; setting it
+    to ``False`` draws values and weights independently, which makes the
+    instances much easier.
+    ``capacity_ratio`` is the knapsack capacity as a fraction of total weight.
+    """
+    if n_items < 1:
+        raise ValueError("n_items must be positive")
+    rng = random.Random(seed)
+    weights: List[float] = [rng.uniform(1.0, 100.0) for _ in range(n_items)]
+    if correlated:
+        values = [w + rng.uniform(-10.0, 10.0) + 10.0 for w in weights]
+    else:
+        values = [rng.uniform(1.0, 100.0) for _ in range(n_items)]
+    capacity = capacity_ratio * sum(weights)
+    instance = KnapsackInstance(
+        values=tuple(round(v, 2) for v in values),
+        weights=tuple(round(w, 2) for w in weights),
+        capacity=round(capacity, 2),
+    )
+    return KnapsackProblem(instance)

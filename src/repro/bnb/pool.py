@@ -1,0 +1,171 @@
+"""The pool of active subproblems and its selection rules.
+
+Section 2 of the paper: the *select* operator picks which active subproblem to
+branch next according to a heuristic priority — best-first (by bound),
+depth-first, or breadth-first.  The pool is also where the load-balancing
+mechanism takes work from: a process that receives a work request "removes
+some of those problems and sends them to the requester".
+
+:class:`SubproblemPool` implements the three classic rules with a single
+priority heap, plus the donation helpers used by the distributed algorithm
+(which subproblems to give away, and how many).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from enum import Enum
+from typing import Generic, Iterable, Iterator, List, Optional, Tuple, TypeVar
+
+from .problem import Subproblem
+
+__all__ = ["SelectionRule", "SubproblemPool"]
+
+StateT = TypeVar("StateT")
+
+
+class SelectionRule(str, Enum):
+    """Which active subproblem the *select* operator picks next.
+
+    * ``BEST_FIRST`` — smallest bound first (for minimisation; the pool is
+      told the sense).  Tends to expand few nodes but keeps a large pool.
+    * ``DEPTH_FIRST`` — deepest node first; small pool, finds incumbents fast.
+    * ``BREADTH_FIRST`` — shallowest node first; mainly useful for tests and
+      for generating well-balanced donations.
+    """
+
+    BEST_FIRST = "best_first"
+    DEPTH_FIRST = "depth_first"
+    BREADTH_FIRST = "breadth_first"
+
+
+class SubproblemPool(Generic[StateT]):
+    """Priority pool of active subproblems.
+
+    Parameters
+    ----------
+    rule:
+        Selection rule for :meth:`pop`.
+    minimize:
+        Optimisation sense; only affects :attr:`SelectionRule.BEST_FIRST`
+        (a maximisation problem wants the *largest* bound first).
+    """
+
+    def __init__(
+        self,
+        rule: SelectionRule = SelectionRule.DEPTH_FIRST,
+        *,
+        minimize: bool = True,
+    ) -> None:
+        self.rule = rule
+        self.minimize = minimize
+        self._heap: List[Tuple[float, int, Subproblem[StateT]]] = []
+        self._counter = itertools.count()
+        #: Total subproblems ever inserted (metrics).
+        self.total_inserted = 0
+        #: High-water mark of the pool size (storage metrics).
+        self.max_size = 0
+
+    # ------------------------------------------------------------------ #
+    # Priority computation
+    # ------------------------------------------------------------------ #
+    def _priority(self, sub: Subproblem[StateT], bound: Optional[float]) -> float:
+        if self.rule == SelectionRule.DEPTH_FIRST:
+            return -float(sub.depth)
+        if self.rule == SelectionRule.BREADTH_FIRST:
+            return float(sub.depth)
+        if self.rule == SelectionRule.BEST_FIRST:
+            if bound is None:
+                raise ValueError("best-first selection requires a bound for every push")
+            return bound if self.minimize else -bound
+        raise ValueError(f"unknown selection rule: {self.rule!r}")
+
+    # ------------------------------------------------------------------ #
+    # Basic operations
+    # ------------------------------------------------------------------ #
+    def push(self, sub: Subproblem[StateT], *, bound: Optional[float] = None) -> None:
+        """Insert an active subproblem (``bound`` required for best-first)."""
+        priority = self._priority(sub, bound)
+        heapq.heappush(self._heap, (priority, next(self._counter), sub))
+        self.total_inserted += 1
+        if len(self._heap) > self.max_size:
+            self.max_size = len(self._heap)
+
+    def pop(self) -> Subproblem[StateT]:
+        """Remove and return the next subproblem according to the rule."""
+        if not self._heap:
+            raise IndexError("pop from an empty subproblem pool")
+        _prio, _tie, sub = heapq.heappop(self._heap)
+        return sub
+
+    def peek(self) -> Subproblem[StateT]:
+        """Return (without removing) the next subproblem."""
+        if not self._heap:
+            raise IndexError("peek at an empty subproblem pool")
+        return self._heap[0][2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __iter__(self) -> Iterator[Subproblem[StateT]]:
+        return (entry[2] for entry in self._heap)
+
+    def clear(self) -> None:
+        """Drop every active subproblem (used on termination)."""
+        self._heap.clear()
+
+    # ------------------------------------------------------------------ #
+    # Work donation (load balancing)
+    # ------------------------------------------------------------------ #
+    def can_donate(self, *, keep_at_least: int = 1) -> bool:
+        """True when the pool is large enough to give work away.
+
+        The paper: "a process that receives a work request and has *enough*
+        problems in its pool removes some of those problems and sends them to
+        the requester."  ``keep_at_least`` is that "enough" threshold.
+        """
+        return len(self._heap) > keep_at_least
+
+    def take_for_donation(
+        self, *, max_count: int = 1, keep_at_least: int = 1, prefer_shallow: bool = True
+    ) -> List[Subproblem[StateT]]:
+        """Remove up to ``max_count`` subproblems to send to a requester.
+
+        Shallow subproblems are preferred by default because they represent
+        larger chunks of work, which keeps load-balancing traffic low — the
+        standard work-stealing heuristic for tree search.
+        """
+        available = len(self._heap) - keep_at_least
+        count = max(0, min(max_count, available))
+        if count == 0:
+            return []
+        entries = sorted(
+            self._heap,
+            key=lambda e: (e[2].depth if prefer_shallow else -e[2].depth, e[1]),
+        )
+        donated = [entry[2] for entry in entries[:count]]
+        donated_ids = {id(entry[2]) for entry in entries[:count]}
+        self._heap = [entry for entry in self._heap if id(entry[2]) not in donated_ids]
+        heapq.heapify(self._heap)
+        return donated
+
+    def drain(self) -> List[Subproblem[StateT]]:
+        """Remove and return every subproblem (used by failing processes in tests)."""
+        subs = [entry[2] for entry in self._heap]
+        self._heap.clear()
+        return subs
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def codes(self) -> List:
+        """Codes of every active subproblem (tracing / tests)."""
+        return [entry[2].code for entry in self._heap]
+
+    def storage_bytes(self) -> int:
+        """Rough byte estimate of the pooled codes (storage metric)."""
+        return sum(entry[2].code.wire_size() for entry in self._heap)

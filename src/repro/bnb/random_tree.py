@@ -1,0 +1,237 @@
+"""Random basic-tree generation.
+
+The paper enriches its set of test trees with "randomly created trees of
+various sizes" because recording real basic trees "is computationally
+infeasible for anything but small problems", and observes that "for testing
+reliability, and later scalability, the number of nodes is the only important
+feature of the test tree".
+
+:func:`generate_random_tree` produces a structurally valid binary
+:class:`~repro.bnb.basic_tree.BasicTree` with an exact node count, a
+controllable shape (balanced vs. skewed), synthetic bound values that tighten
+with depth, feasible values on a configurable fraction of leaves and per-node
+times drawn from a gamma distribution with a chosen mean and coefficient of
+variation.  :func:`paper_workload` packages the three concrete workloads used
+by the evaluation benchmarks (the ≈3,500-node Figure 3 problem, the
+≈79,600-node Table 1 problem, and the very small Figures 5/6 problem).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.encoding import ROOT, PathCode
+from .basic_tree import BasicTree, BasicTreeNode
+
+__all__ = ["RandomTreeSpec", "generate_random_tree", "paper_workload"]
+
+
+@dataclass(frozen=True, slots=True)
+class RandomTreeSpec:
+    """Parameters of a synthetic basic tree.
+
+    Attributes
+    ----------
+    nodes:
+        Exact number of tree nodes; must be odd (a full binary tree with *L*
+        leaves has ``2L - 1`` nodes).  Even values are rounded up.
+    mean_node_time:
+        Average per-node expansion time in seconds — the paper's granularity
+        (0.01 s for the Figure 3 problem, 3.47 s for the Table 1 problem).
+    time_cv:
+        Coefficient of variation of node times (gamma distributed).
+    balance:
+        Shape parameter in ``(0, 1]``: 1.0 splits subtree budgets evenly
+        (a balanced tree); smaller values skew the splits and deepen the tree.
+    feasible_leaf_fraction:
+        Fraction of leaves that carry a feasible solution.
+    root_bound:
+        Bound value of the root problem (minimisation).
+    bound_increment:
+        Mean per-level increase of the lower bound.
+    prunable_fraction:
+        Fraction of internal nodes whose subtree is given a bound so weak that
+        a good incumbent will prune it during replay — this controls how much
+        the dynamically pruned B&B tree differs from the basic tree, like the
+        real recorded trees in the paper.
+    seed:
+        RNG seed; the generator is fully deterministic for a given spec.
+    name:
+        Label used in logs and benchmark output.
+    """
+
+    nodes: int
+    mean_node_time: float = 0.01
+    time_cv: float = 0.5
+    balance: float = 0.7
+    feasible_leaf_fraction: float = 0.25
+    root_bound: float = 100.0
+    bound_increment: float = 1.0
+    prunable_fraction: float = 0.3
+    seed: int = 0
+    name: str = "random-tree"
+
+
+def _odd(n: int) -> int:
+    """Round up to the nearest odd integer ≥ 1."""
+    n = max(1, int(n))
+    return n if n % 2 == 1 else n + 1
+
+
+def _split_budget(rng: random.Random, budget: int, balance: float) -> Tuple[int, int]:
+    """Split ``budget`` (odd, ≥ 3) minus the current node into two odd parts."""
+    remaining = budget - 1  # even, ≥ 2
+    # Draw the left share from a symmetric Beta-like distribution: balance=1
+    # concentrates near 0.5, small balance spreads toward the extremes.
+    alpha = max(0.05, 4.0 * balance)
+    share = rng.betavariate(alpha, alpha)
+    left = int(round(share * remaining))
+    left = min(max(left, 1), remaining - 1)
+    if left % 2 == 0:
+        left = left + 1 if left + 1 <= remaining - 1 else left - 1
+    right = remaining - left
+    assert left >= 1 and right >= 1 and left % 2 == 1 and right % 2 == 1
+    return left, right
+
+
+def _draw_time(rng: random.Random, mean: float, cv: float) -> float:
+    """Gamma-distributed node time with the requested mean and CV."""
+    if mean <= 0:
+        return 0.0
+    if cv <= 0:
+        return mean
+    shape = 1.0 / (cv * cv)
+    scale = mean / shape
+    return rng.gammavariate(shape, scale)
+
+
+def generate_random_tree(spec: RandomTreeSpec) -> BasicTree:
+    """Generate a deterministic random basic tree from a spec."""
+    rng = random.Random(spec.seed)
+    total = _odd(spec.nodes)
+
+    nodes: List[BasicTreeNode] = []
+    next_id = 0
+    next_variable = 0
+
+    # Iterative budget-splitting construction (recursion would overflow for
+    # deep, skewed trees of tens of thousands of nodes).
+    stack: List[Tuple[PathCode, int, float]] = [(ROOT, total, spec.root_bound)]
+    leaf_records: List[int] = []  # indexes into ``nodes`` of leaves
+
+    while stack:
+        code, budget, bound = stack.pop()
+        time = _draw_time(rng, spec.mean_node_time, spec.time_cv)
+        if budget == 1:
+            node = BasicTreeNode(
+                node_id=next_id,
+                code=code,
+                bound=bound,
+                time=time,
+                feasible_value=None,  # assigned below for a sample of leaves
+                branch_variable=None,
+            )
+            nodes.append(node)
+            leaf_records.append(len(nodes) - 1)
+            next_id += 1
+            continue
+
+        variable = next_variable
+        next_variable += 1
+        nodes.append(
+            BasicTreeNode(
+                node_id=next_id,
+                code=code,
+                bound=bound,
+                time=time,
+                feasible_value=None,
+                branch_variable=variable,
+            )
+        )
+        next_id += 1
+
+        left_budget, right_budget = _split_budget(rng, budget, spec.balance)
+        for value, child_budget in ((0, left_budget), (1, right_budget)):
+            child_bound = bound + abs(rng.gauss(spec.bound_increment, spec.bound_increment / 3.0))
+            if rng.random() < spec.prunable_fraction:
+                # Weak subtree: push its bound up so a decent incumbent will
+                # prune it during the simulated (dynamically pruned) run.
+                child_bound += 3.0 * spec.bound_increment
+            stack.append((code.child(variable, value), child_budget, child_bound))
+
+    # Assign feasible values to a sample of leaves.  Values sit at or above
+    # the leaf bound (minimisation), and at least one leaf is feasible so the
+    # problem always has an optimum.
+    rng_feas = random.Random(spec.seed + 1)
+    leaf_indexes = list(leaf_records)
+    rng_feas.shuffle(leaf_indexes)
+    n_feasible = max(1, int(round(spec.feasible_leaf_fraction * len(leaf_indexes))))
+    chosen = set(leaf_indexes[:n_feasible])
+    for idx in chosen:
+        node = nodes[idx]
+        slack = abs(rng_feas.gauss(0.5 * spec.bound_increment, 0.5 * spec.bound_increment))
+        nodes[idx] = BasicTreeNode(
+            node_id=node.node_id,
+            code=node.code,
+            bound=node.bound,
+            time=node.time,
+            feasible_value=node.bound + slack,
+            branch_variable=None,
+        )
+
+    return BasicTree(nodes, minimize=True, name=spec.name)
+
+
+def paper_workload(which: str, *, seed: int = 7) -> BasicTree:
+    """Return one of the three workloads used in the paper's evaluation.
+
+    ``which`` is one of:
+
+    * ``"figure3"`` — ≈3,500 expanded nodes, average node cost 0.01 s;
+    * ``"table1"`` — ≈79,600 expanded nodes, average node cost 3.47 s
+      (≈75 hours of uniprocessor execution);
+    * ``"tiny"`` — a very small tree used for the Figures 5/6 failure
+      scenario and the quickstart example.
+
+    The trees are random (the authors' original problem instances are not
+    published) but calibrated to the node counts and granularities the paper
+    reports, which is what determines the communication, storage and overhead
+    behaviour the benchmarks reproduce.
+    """
+    which = which.lower()
+    if which == "figure3":
+        spec = RandomTreeSpec(
+            nodes=3501,
+            mean_node_time=0.01,
+            time_cv=0.6,
+            balance=0.7,
+            feasible_leaf_fraction=0.2,
+            seed=seed,
+            name="paper-figure3-3500",
+        )
+    elif which == "table1":
+        spec = RandomTreeSpec(
+            nodes=79_601,
+            mean_node_time=3.47,
+            time_cv=0.6,
+            balance=0.7,
+            feasible_leaf_fraction=0.15,
+            seed=seed,
+            name="paper-table1-79600",
+        )
+    elif which == "tiny":
+        spec = RandomTreeSpec(
+            nodes=151,
+            mean_node_time=0.05,
+            time_cv=0.4,
+            balance=0.8,
+            feasible_leaf_fraction=0.3,
+            seed=seed,
+            name="paper-tiny",
+        )
+    else:
+        raise ValueError(f"unknown paper workload: {which!r}")
+    return generate_random_tree(spec)

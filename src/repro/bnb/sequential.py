@@ -1,0 +1,266 @@
+"""Sequential branch-and-bound: the four-operator loop and the node expander.
+
+Two pieces live here:
+
+* :class:`NodeExpander` — the *decompose + bound + eliminate* step applied to a
+  single subproblem.  It is deliberately separated from the driving loop
+  because the **same expansion logic** is reused by the sequential solver, by
+  every simulated distributed worker (:mod:`repro.distributed.worker`), by the
+  baselines and by the real ``multiprocessing`` backend.  Completion semantics
+  (which codes become *completed* as a result of an expansion) are decided
+  here, in one place.
+* :class:`SequentialSolver` — the classic single-process B&B loop of Section 2
+  (select, decompose, bound, eliminate over a pool of active problems), with
+  instrumentation hooks used to record *basic trees*
+  (:mod:`repro.bnb.basic_tree`) and to collect reference solutions for the
+  correctness tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generic, List, Optional, Tuple, TypeVar
+
+from ..core.encoding import PathCode
+from .pool import SelectionRule, SubproblemPool
+from .problem import BranchAndBoundProblem, Subproblem, worse_than
+
+__all__ = ["ExpansionOutcome", "NodeExpander", "SequentialSolver", "SolveResult"]
+
+StateT = TypeVar("StateT")
+
+
+@dataclass(frozen=True, slots=True)
+class ExpansionOutcome(Generic[StateT]):
+    """Everything that happened while expanding one subproblem.
+
+    Attributes
+    ----------
+    subproblem:
+        The subproblem that was expanded.
+    status:
+        ``"pruned"`` (eliminated by bound), ``"leaf"`` (no branching possible)
+        or ``"branched"``.
+    children:
+        Feasible children created by branching, together with their bounds
+        (used for best-first insertion into the pool).
+    completed:
+        Codes that became *completed* as a direct result of this expansion:
+        the node itself when pruned or a leaf, plus any child that was
+        infeasible from construction.
+    incumbent_value:
+        A new best feasible objective discovered at this node, or ``None``.
+    feasible_value:
+        The feasible objective present at this node regardless of whether it
+        improves the incumbent (``None`` when the node carries no feasible
+        solution).  The basic-tree recorder needs this raw value.
+    cost:
+        Computation time charged for this expansion (the problem's node cost).
+    bound:
+        The bound computed for this node.
+    """
+
+    subproblem: Subproblem[StateT]
+    status: str
+    children: Tuple[Tuple[Subproblem[StateT], float], ...]
+    completed: Tuple[PathCode, ...]
+    incumbent_value: Optional[float]
+    feasible_value: Optional[float]
+    cost: float
+    bound: float
+
+
+class NodeExpander(Generic[StateT]):
+    """Applies decompose/bound/eliminate to one subproblem at a time."""
+
+    def __init__(self, problem: BranchAndBoundProblem[StateT]) -> None:
+        self.problem = problem
+        #: Number of nodes expanded through this expander (metrics).
+        self.nodes_expanded = 0
+        #: Number of nodes eliminated by the bound test.
+        self.nodes_pruned = 0
+
+    def expand(
+        self, sub: Subproblem[StateT], incumbent: Optional[float]
+    ) -> ExpansionOutcome[StateT]:
+        """Expand ``sub`` against the current incumbent value."""
+        problem = self.problem
+        state = sub.state
+        cost = problem.node_cost(state)
+        bound = problem.bound(state)
+        self.nodes_expanded += 1
+
+        # Eliminate: the subtree cannot improve on the incumbent, so the whole
+        # subproblem is completed right here.
+        if worse_than(bound, incumbent, minimize=problem.minimize):
+            self.nodes_pruned += 1
+            return ExpansionOutcome(
+                subproblem=sub,
+                status="pruned",
+                children=(),
+                completed=(sub.code,),
+                incumbent_value=None,
+                feasible_value=None,
+                cost=cost,
+                bound=bound,
+            )
+
+        # A node may carry a feasible solution (always true for feasible
+        # leaves, sometimes true for interior nodes).
+        value = problem.feasible_value(state)
+        incumbent_value = None
+        if value is not None and problem.is_improvement(value, incumbent):
+            incumbent_value = value
+
+        decision = problem.branching_decision(state)
+        if decision is None:
+            # Leaf: nothing to decompose; the subproblem is completed.
+            return ExpansionOutcome(
+                subproblem=sub,
+                status="leaf",
+                children=(),
+                completed=(sub.code,),
+                incumbent_value=incumbent_value,
+                feasible_value=value,
+                cost=cost,
+                bound=bound,
+            )
+
+        children: List[Tuple[Subproblem[StateT], float]] = []
+        completed: List[PathCode] = []
+        for branch_value in (0, 1):
+            child_code = sub.code.child(decision.variable, branch_value)
+            child_state = problem.apply_branch(state, decision.variable, branch_value)
+            if child_state is None:
+                # Infeasible child: it exists in the tree but needs no work,
+                # so it is completed immediately.  Recording it keeps the
+                # completion table's sibling-merge rule sound.
+                completed.append(child_code)
+            else:
+                child_bound = problem.bound(child_state)
+                children.append((Subproblem(child_code, child_state), child_bound))
+
+        if not children:
+            # Both children infeasible: the parent is effectively a leaf.  Its
+            # completion follows from the children's codes via contraction,
+            # but reporting the parent directly is smaller and equivalent.
+            return ExpansionOutcome(
+                subproblem=sub,
+                status="leaf",
+                children=(),
+                completed=(sub.code,),
+                incumbent_value=incumbent_value,
+                feasible_value=value,
+                cost=cost,
+                bound=bound,
+            )
+
+        return ExpansionOutcome(
+            subproblem=sub,
+            status="branched",
+            children=tuple(children),
+            completed=tuple(completed),
+            incumbent_value=incumbent_value,
+            feasible_value=value,
+            cost=cost,
+            bound=bound,
+        )
+
+
+@dataclass
+class SolveResult:
+    """Result of a sequential B&B run."""
+
+    #: Best objective value found (``None`` when the problem is infeasible).
+    best_value: Optional[float]
+    #: Code of the node where the best value was found.
+    best_code: Optional[PathCode]
+    #: Total nodes expanded.
+    nodes_expanded: int
+    #: Nodes eliminated by the bound test.
+    nodes_pruned: int
+    #: Sum of per-node costs (the "uniprocessor execution time" of the paper).
+    total_cost: float
+    #: Maximum size reached by the active pool.
+    max_pool_size: int
+    #: Completed codes never exceed the contracted root at the end; kept for
+    #: tests that validate the completion semantics end-to-end.
+    completed_codes: List[PathCode] = field(default_factory=list)
+
+
+class SequentialSolver(Generic[StateT]):
+    """Single-process branch-and-bound driver.
+
+    Parameters
+    ----------
+    problem:
+        The optimisation problem.
+    rule:
+        Pool selection rule (best-first by default, which minimises the number
+        of expanded nodes and is the natural reference for speedup studies).
+    on_expand:
+        Optional callback invoked with every :class:`ExpansionOutcome`; the
+        basic-tree recorder and some tests hook in here.
+    track_completed:
+        When ``True`` every completed code is accumulated in the result so the
+        tests can check that the completed set contracts to the root.
+    """
+
+    def __init__(
+        self,
+        problem: BranchAndBoundProblem[StateT],
+        *,
+        rule: SelectionRule = SelectionRule.BEST_FIRST,
+        on_expand: Optional[Callable[[ExpansionOutcome[StateT]], None]] = None,
+        track_completed: bool = False,
+        max_nodes: Optional[int] = None,
+    ) -> None:
+        self.problem = problem
+        self.rule = rule
+        self.on_expand = on_expand
+        self.track_completed = track_completed
+        self.max_nodes = max_nodes
+
+    def solve(self) -> SolveResult:
+        """Run B&B to completion (or until ``max_nodes`` expansions)."""
+        problem = self.problem
+        expander = NodeExpander(problem)
+        pool: SubproblemPool[StateT] = SubproblemPool(self.rule, minimize=problem.minimize)
+
+        root = problem.root_subproblem()
+        pool.push(root, bound=problem.bound(root.state))
+
+        incumbent: Optional[float] = None
+        incumbent_code: Optional[PathCode] = None
+        total_cost = 0.0
+        completed: List[PathCode] = []
+
+        while pool:
+            if self.max_nodes is not None and expander.nodes_expanded >= self.max_nodes:
+                break
+            sub = pool.pop()
+            outcome = expander.expand(sub, incumbent)
+            total_cost += outcome.cost
+
+            if outcome.incumbent_value is not None:
+                incumbent = outcome.incumbent_value
+                incumbent_code = sub.code
+
+            for child, child_bound in outcome.children:
+                pool.push(child, bound=child_bound)
+
+            if self.track_completed:
+                completed.extend(outcome.completed)
+
+            if self.on_expand is not None:
+                self.on_expand(outcome)
+
+        return SolveResult(
+            best_value=incumbent,
+            best_code=incumbent_code,
+            nodes_expanded=expander.nodes_expanded,
+            nodes_pruned=expander.nodes_pruned,
+            total_cost=total_cost,
+            max_pool_size=pool.max_size,
+            completed_codes=completed,
+        )

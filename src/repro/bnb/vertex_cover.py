@@ -1,0 +1,159 @@
+"""Minimum weighted vertex cover as a branch-and-bound problem.
+
+A second "real problem" family for recording basic trees, chosen because its
+search trees have a very different shape from knapsack trees: branching picks
+an uncovered edge ``(u, v)`` and the two children commit to covering it with
+``u`` (value 0) or with ``v`` (value 1), so both branches *add* to the cover
+and the tree depth is bounded by the number of edges rather than vertices.
+
+The lower bound combines the cost of the partial cover with a greedy matching
+bound: edges of a matching are vertex-disjoint, so any cover must pay at least
+the cheaper endpoint of each matched edge.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .problem import BranchAndBoundProblem, BranchingDecision
+
+__all__ = ["VertexCoverInstance", "VertexCoverProblem", "VertexCoverState", "random_vertex_cover"]
+
+
+@dataclass(frozen=True, slots=True)
+class VertexCoverInstance:
+    """Immutable data of a weighted vertex-cover instance."""
+
+    n_vertices: int
+    edges: Tuple[Tuple[int, int], ...]
+    weights: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.weights) != self.n_vertices:
+            raise ValueError("one weight per vertex is required")
+        if any(w <= 0 for w in self.weights):
+            raise ValueError("vertex weights must be positive")
+        for u, v in self.edges:
+            if not (0 <= u < self.n_vertices and 0 <= v < self.n_vertices) or u == v:
+                raise ValueError(f"invalid edge ({u}, {v})")
+
+
+#: State: frozenset of vertices already placed in the cover.
+VertexCoverState = FrozenSet[int]
+
+
+class VertexCoverProblem(BranchAndBoundProblem[VertexCoverState]):
+    """Branch-and-bound formulation of minimum weighted vertex cover."""
+
+    minimize = True
+
+    def __init__(self, instance: VertexCoverInstance) -> None:
+        self.instance = instance
+        # Deterministic edge order: the branching variable for an uncovered
+        # edge is its index in this tuple.
+        self._edges: Tuple[Tuple[int, int], ...] = tuple(
+            tuple(sorted(e)) for e in instance.edges
+        )
+        self._edge_index: Dict[Tuple[int, int], int] = {e: i for i, e in enumerate(self._edges)}
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _cover_cost(self, cover: VertexCoverState) -> float:
+        return sum(self.instance.weights[v] for v in cover)
+
+    def _uncovered_edges(self, cover: VertexCoverState) -> List[Tuple[int, int]]:
+        return [e for e in self._edges if e[0] not in cover and e[1] not in cover]
+
+    def _matching_bound(self, cover: VertexCoverState) -> float:
+        """Greedy matching lower bound on the cost of covering what remains."""
+        used: set = set()
+        bound = 0.0
+        for u, v in self._uncovered_edges(cover):
+            if u in used or v in used:
+                continue
+            used.add(u)
+            used.add(v)
+            bound += min(self.instance.weights[u], self.instance.weights[v])
+        return bound
+
+    # ------------------------------------------------------------------ #
+    # BranchAndBoundProblem interface
+    # ------------------------------------------------------------------ #
+    def root_state(self) -> VertexCoverState:
+        return frozenset()
+
+    def bound(self, state: VertexCoverState) -> float:
+        return self._cover_cost(state) + self._matching_bound(state)
+
+    def feasible_value(self, state: VertexCoverState) -> Optional[float]:
+        if self._uncovered_edges(state):
+            return None
+        return self._cover_cost(state)
+
+    def branching_decision(self, state: VertexCoverState) -> Optional[BranchingDecision]:
+        uncovered = self._uncovered_edges(state)
+        if not uncovered:
+            return None
+        # Branch on the first uncovered edge in the fixed order; the condition
+        # variable is the edge's index, so different subtrees genuinely branch
+        # on different variables (the property the code encoding must handle).
+        edge = uncovered[0]
+        return BranchingDecision(self._edge_index[edge])
+
+    def apply_branch(
+        self, state: VertexCoverState, variable: int, value: int
+    ) -> Optional[VertexCoverState]:
+        u, v = self._edges[variable]
+        if u in state or v in state:
+            # The edge is already covered: branching on it is meaningless, so
+            # the "decision" collapses; treat value 1 as infeasible to avoid a
+            # duplicated subtree.  (Never reached when codes come from our own
+            # branching rule, but keeps replay of arbitrary codes safe.)
+            return state if value == 0 else None
+        chosen = u if value == 0 else v
+        return state | {chosen}
+
+    # ------------------------------------------------------------------ #
+    # Reference solution
+    # ------------------------------------------------------------------ #
+    def solve_exact(self) -> float:
+        """Exact optimum by exhaustive enumeration (small instances only)."""
+        n = self.instance.n_vertices
+        best = float("inf")
+        for mask in range(1 << n):
+            cover = frozenset(i for i in range(n) if mask & (1 << i))
+            if not self._uncovered_edges(cover):
+                best = min(best, self._cover_cost(cover))
+        return best
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info.update({"vertices": self.instance.n_vertices, "edges": len(self._edges)})
+        return info
+
+
+def random_vertex_cover(
+    n_vertices: int,
+    *,
+    edge_probability: float = 0.3,
+    seed: int = 0,
+    max_weight: float = 10.0,
+) -> VertexCoverProblem:
+    """Generate a random weighted vertex-cover instance (Erdős–Rényi graph)."""
+    if n_vertices < 2:
+        raise ValueError("need at least two vertices")
+    rng = random.Random(seed)
+    edges = []
+    for u in range(n_vertices):
+        for v in range(u + 1, n_vertices):
+            if rng.random() < edge_probability:
+                edges.append((u, v))
+    if not edges:
+        # Guarantee a non-trivial instance.
+        edges.append((0, 1))
+    weights = tuple(round(rng.uniform(1.0, max_weight), 2) for _ in range(n_vertices))
+    instance = VertexCoverInstance(n_vertices=n_vertices, edges=tuple(edges), weights=weights)
+    return VertexCoverProblem(instance)

@@ -1,0 +1,395 @@
+"""Sets of subproblem codes and the paper's *contraction* operation.
+
+The fault-tolerance mechanism keeps, on every process, a table of the
+subproblem codes that are known to be **completed** (Section 5.3.2 of the
+paper: a subproblem is completed when it has been branched and either it is a
+leaf or both of its children are completed).
+
+Two observations make the table small and the mechanism cheap:
+
+* if both children of a node are completed, the node itself is completed, so
+  the two sibling codes can be replaced by the code of their parent
+  ("recursive replacement of pairs of sibling codes with the code of their
+  parent"); and
+* a code whose ancestor is already in the table is redundant and can be
+  deleted ("deletion of codes whose ancestors are also in the list").
+
+Applying these two rules to a fixed point is what the paper calls *list
+contraction* (or compression, when applied to an outgoing work report).  When
+contraction reduces the table to the single root code ``()``, the whole tree
+is complete and termination is detected (Section 5.4).
+
+:class:`CodeSet` is the mutable container implementing these rules.  It is
+backed by a trie over ``<variable, value>`` decisions so that insertion,
+coverage queries and the sibling-merge cascade all cost ``O(depth)`` — the
+per-operation cost the simulator charges as "list contraction time".
+:func:`contract` is the standalone functional form used for one-shot
+compression of outgoing reports, and :func:`contract_reference` is a naive
+fixed-point implementation kept as a test oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .encoding import ROOT, Branch, PathCode
+
+__all__ = [
+    "contract",
+    "contract_reference",
+    "covers",
+    "CodeSet",
+    "ContractionStats",
+]
+
+
+def covers(codes: Iterable[PathCode], target: PathCode) -> bool:
+    """True when ``target`` or any of its ancestors is in ``codes``.
+
+    A completed-code set *covers* a subproblem when the set already records
+    that subproblem (or an enclosing subtree) as completed.
+    """
+    if isinstance(codes, CodeSet):
+        return codes.covers(target)
+    code_set = codes if isinstance(codes, (set, frozenset)) else set(codes)
+    for candidate in target.ancestors(include_self=True):
+        if candidate in code_set:
+            return True
+    return False
+
+
+class ContractionStats:
+    """Counters describing the work done by contraction operations.
+
+    The paper reports "list contraction time" as one of the overhead terms in
+    Figure 3 and Table 1; these counters let the simulator charge a cost per
+    elementary contraction step instead of wall-clock time, which keeps the
+    simulation deterministic.
+    """
+
+    __slots__ = ("merges", "subsumptions", "insertions", "calls")
+
+    def __init__(self) -> None:
+        self.merges = 0
+        self.subsumptions = 0
+        self.insertions = 0
+        self.calls = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Return the counters as a plain dictionary."""
+        return {
+            "merges": self.merges,
+            "subsumptions": self.subsumptions,
+            "insertions": self.insertions,
+            "calls": self.calls,
+        }
+
+    def elementary_operations(self) -> int:
+        """Total elementary rewrite steps performed (merges + subsumptions + insertions)."""
+        return self.merges + self.subsumptions + self.insertions
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting only
+        return (
+            f"ContractionStats(merges={self.merges}, subsumptions={self.subsumptions}, "
+            f"insertions={self.insertions}, calls={self.calls})"
+        )
+
+
+class _TrieNode:
+    """One node of the completion trie."""
+
+    __slots__ = ("children", "completed")
+
+    def __init__(self) -> None:
+        self.children: Dict[Branch, "_TrieNode"] = {}
+        self.completed = False
+
+    def count_completed(self) -> int:
+        """Number of completed codes in this subtree (iterative DFS)."""
+        total = 0
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if node.completed:
+                total += 1
+            stack.extend(node.children.values())
+        return total
+
+
+class CodeSet:
+    """A contracted set of completed subproblem codes.
+
+    The set maintains the contraction invariant after every insertion:
+
+    * no element is an ancestor or descendant of another element, and
+    * no two elements are siblings.
+
+    Membership (``code in codeset``) tests exact membership of the contracted
+    representation; :meth:`covers` tests logical completion (the code or one
+    of its ancestors is present), which is the query the algorithm actually
+    needs.
+    """
+
+    __slots__ = ("_root", "_count", "stats")
+
+    def __init__(self, codes: Optional[Iterable[PathCode]] = None) -> None:
+        self._root = _TrieNode()
+        self._count = 0
+        self.stats = ContractionStats()
+        if codes:
+            self.update(codes)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def __contains__(self, code: PathCode) -> bool:
+        node = self._find(code)
+        return node is not None and node.completed
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    def __iter__(self) -> Iterator[PathCode]:
+        yield from self._iter_completed()
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CodeSet):
+            return self.codes() == other.codes()
+        if isinstance(other, (set, frozenset)):
+            return set(self._iter_completed()) == set(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting only
+        preview = ", ".join(sorted(c.encode() for c in self._iter_completed())[:6])
+        return f"CodeSet(n={self._count}, [{preview}...])"
+
+    def _find(self, code: PathCode) -> Optional[_TrieNode]:
+        node = self._root
+        for pair in code.pairs:
+            node = node.children.get(pair)
+            if node is None:
+                return None
+        return node
+
+    def _iter_completed(self) -> Iterator[PathCode]:
+        stack: List[Tuple[_TrieNode, Tuple[Branch, ...]]] = [(self._root, ())]
+        while stack:
+            node, path = stack.pop()
+            if node.completed:
+                yield PathCode(path)
+                continue  # contracted invariant: no completed descendants
+            for pair, child in node.children.items():
+                stack.append((child, path + (pair,)))
+
+    def codes(self) -> frozenset:
+        """Return the contracted codes as a frozen set."""
+        return frozenset(self._iter_completed())
+
+    def covers(self, code: PathCode) -> bool:
+        """True when ``code`` is known completed (itself or via an ancestor)."""
+        node = self._root
+        if node.completed:
+            return True
+        for pair in code.pairs:
+            node = node.children.get(pair)
+            if node is None:
+                return False
+            if node.completed:
+                return True
+        return False
+
+    def is_complete(self) -> bool:
+        """True when the whole tree is completed (the root code is present)."""
+        return self._root.completed
+
+    def wire_size(self) -> int:
+        """Total estimated encoded size of the set, in bytes."""
+        return sum(code.wire_size() for code in self._iter_completed())
+
+    def max_depth(self) -> int:
+        """Depth of the deepest code in the set (0 for an empty set)."""
+        return max((code.depth for code in self._iter_completed()), default=0)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, code: PathCode) -> bool:
+        """Insert a completed code, restoring the contraction invariant.
+
+        Returns ``True`` when the logical content of the set changed (the code
+        was not already covered).  Insertion cascades sibling merges upward,
+        so a single ``add`` may replace a long chain of codes by one ancestor —
+        this is exactly how termination eventually surfaces as the root code.
+        """
+        self.stats.calls += 1
+
+        # Walk down, creating nodes; an already-completed ancestor means the
+        # code is covered and nothing changes.
+        path: List[Tuple[_TrieNode, Branch]] = []  # (parent node, branch taken)
+        node = self._root
+        if node.completed:
+            return False
+        for pair in code.pairs:
+            child = node.children.get(pair)
+            if child is None:
+                child = _TrieNode()
+                node.children[pair] = child
+            path.append((node, pair))
+            node = child
+            if node.completed:
+                # Covered by an ancestor or by the code itself.  Creating the
+                # intermediate nodes above is harmless: they have no completed
+                # descendants other than this chain, and are reachable only on
+                # this path.
+                return False
+
+        self.stats.insertions += 1
+
+        # The new code subsumes everything below it.
+        if node.children:
+            removed = node.count_completed()
+            self.stats.subsumptions += removed
+            self._count -= removed
+            node.children.clear()
+        node.completed = True
+        self._count += 1
+
+        # Cascade sibling merges toward the root.
+        while path:
+            parent, pair = path.pop()
+            var, val = pair
+            sibling = parent.children.get((var, 1 - val))
+            if sibling is None or not sibling.completed:
+                break
+            # Both children completed: replace them by the parent.  The parent
+            # cannot have other completed descendants because it has exactly
+            # these two children subtrees in a binary tree encoding.
+            removed = parent.count_completed()
+            self._count -= removed
+            parent.children.clear()
+            parent.completed = True
+            self._count += 1
+            self.stats.merges += 1
+        return True
+
+    def update(self, codes: Iterable[PathCode]) -> bool:
+        """Insert many codes; returns ``True`` when anything changed."""
+        changed = False
+        for code in codes:
+            changed |= self.add(code)
+        return changed
+
+    def merge(self, other: "CodeSet") -> bool:
+        """Merge another contracted set into this one."""
+        return self.update(other.codes())
+
+    def clear(self) -> None:
+        """Remove every code (used when reinitialising a joining member)."""
+        self._root = _TrieNode()
+        self._count = 0
+
+    def copy(self) -> "CodeSet":
+        """Return an independent copy (statistics are not copied)."""
+        clone = CodeSet()
+        clone.update(self._iter_completed())
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+    def missing_frontier(self) -> Set[PathCode]:
+        """Minimal set of subtree codes *not* covered by this set.
+
+        The returned codes are pairwise disjoint, none is covered, and
+        together with the completed set they cover the whole tree: this is the
+        paper's *complement* operation.  It is computed by walking the trie:
+        wherever a path explores one branch of a decision but the sibling
+        branch is absent, that sibling subtree is missing.
+
+        For an empty set the whole tree is missing (``{ROOT}``); for a
+        complete set the frontier is empty.
+        """
+        if self._root.completed:
+            return set()
+        if self._count == 0:
+            return {ROOT}
+        frontier: Set[PathCode] = set()
+        stack: List[Tuple[_TrieNode, Tuple[Branch, ...]]] = [(self._root, ())]
+        while stack:
+            node, path = stack.pop()
+            if node.completed:
+                continue
+            for (var, val), child in node.children.items():
+                sibling_key = (var, 1 - val)
+                if sibling_key not in node.children:
+                    frontier.add(PathCode(path + (sibling_key,)))
+                stack.append((child, path + ((var, val),)))
+        return frontier
+
+    def uncovered_siblings(self) -> Set[PathCode]:
+        """Codes adjacent to the completed region that are *not* completed.
+
+        For every element of the contracted set, its sibling subtree has not
+        been reported complete (otherwise the pair would have merged).  These
+        siblings are exactly the candidates the recovery mechanism considers
+        when it suspects work has been lost (Section 5.3.2: "chooses an
+        uncompleted problem by complementing the code of a solved problem
+        whose sibling is not solved").
+        """
+        result: Set[PathCode] = set()
+        for code in self._iter_completed():
+            sibling = code.sibling()
+            if sibling is not None and not self.covers(sibling):
+                result.add(sibling)
+        return result
+
+
+def contract(codes: Iterable[PathCode]) -> Set[PathCode]:
+    """Contract a collection of completed codes to its minimal form.
+
+    Repeatedly merges completed sibling pairs into their parent and drops
+    codes subsumed by a completed ancestor, until no rule applies.  The input
+    is not modified; a new set is returned.
+    """
+    return set(CodeSet(codes).codes())
+
+
+def contract_reference(codes: Iterable[PathCode]) -> Set[PathCode]:
+    """Naive fixed-point contraction used as a test oracle.
+
+    Applies the two rewrite rules exhaustively with no cleverness.  Quadratic
+    in the size of the input; only used by the test-suite to validate
+    :func:`contract` and the incremental :class:`CodeSet`.
+    """
+
+    def _has_proper_ancestor(present: Set[PathCode], code: PathCode) -> bool:
+        for ancestor in code.ancestors(include_self=False):
+            if ancestor in present:
+                return True
+        return False
+
+    present: Set[PathCode] = set(codes)
+    changed = True
+    while changed:
+        changed = False
+        # Rule 1: drop codes subsumed by an ancestor.
+        for code in list(present):
+            if _has_proper_ancestor(present, code):
+                present.discard(code)
+                changed = True
+        # Rule 2: merge sibling pairs.
+        for code in sorted(present, key=lambda c: -c.depth):
+            if code not in present:
+                continue
+            sibling = code.sibling()
+            if sibling is not None and sibling in present:
+                present.discard(code)
+                present.discard(sibling)
+                parent = code.parent()
+                assert parent is not None
+                present.add(parent)
+                changed = True
+    return present

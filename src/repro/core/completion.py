@@ -1,0 +1,251 @@
+"""Completion tracking: the per-process bookkeeping of completed subproblems.
+
+Every process participating in the distributed B&B computation keeps two data
+structures (Section 5.3.2 of the paper):
+
+* a **list of new locally completed subproblems** — codes completed since the
+  last work report was sent; and
+* a **table of completed problems it knows about** — everything it completed
+  itself plus everything learned from received work reports and table gossip.
+
+:class:`CompletionTracker` bundles both, implements the report-emission policy
+(send after ``c`` new codes or after a staleness timeout), merges incoming
+reports into the table with contraction, and exposes the two queries the rest
+of the algorithm needs: "is the whole tree complete?" (termination) and "what
+is still missing?" (recovery, via :mod:`repro.core.complement`).
+
+A subtlety worth spelling out: the paper distinguishes *solved* (the branching
+operation has been performed) from *completed* (solved and either a leaf or
+both children completed).  The tracker works purely at the *completed* level;
+propagating completion from children to parents falls out of the contraction
+rule "two completed siblings collapse into their parent".  A worker therefore
+only ever registers **leaves** of its local search (fathomed, pruned or
+infeasible nodes) as completed, and interior nodes become completed implicitly
+when both of their subtrees have.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from .codeset import CodeSet
+from .complement import SelectionStrategy, complement_frontier, select_recovery_candidate
+from .encoding import PathCode
+from .work_report import BestSolution, CompletedTableSnapshot, WorkReport
+
+__all__ = ["CompletionTracker"]
+
+
+class CompletionTracker:
+    """Tracks locally and globally known completed subproblems for one process.
+
+    Parameters
+    ----------
+    owner:
+        Identifier of the owning process (stamped on outgoing reports).
+    report_threshold:
+        The paper's ``c``: number of newly completed codes that triggers a
+        work report.
+    report_staleness:
+        Maximum simulated time the new-codes list may sit unreported before a
+        report is sent anyway ("or the list has not been updated for a long
+        time").  ``None`` disables the staleness rule.
+    """
+
+    def __init__(
+        self,
+        owner: str,
+        *,
+        report_threshold: int = 8,
+        report_staleness: Optional[float] = None,
+    ) -> None:
+        if report_threshold < 1:
+            raise ValueError("report_threshold must be at least 1")
+        self.owner = owner
+        self.report_threshold = report_threshold
+        self.report_staleness = report_staleness
+
+        #: Contracted table of every completed code known to this process.
+        self.table = CodeSet()
+        #: Codes completed locally since the last report (not yet compressed).
+        self._new_local: List[PathCode] = []
+        #: Simulated time of the last report emission (or of construction).
+        self._last_report_time: float = 0.0
+        #: Simulated time the new-codes list last changed.
+        self._last_local_update: float = 0.0
+        #: Sequence number for outgoing reports.
+        self._sequence = 0
+        #: The last code completed locally (recovery locality hint).
+        self.last_completed: Optional[PathCode] = None
+        #: Number of codes learned from remote reports that were already known
+        #: (redundant information received) — feeds the storage/communication
+        #: accounting in the benchmarks.
+        self.redundant_codes_received = 0
+        #: Total codes received from remote reports.
+        self.codes_received = 0
+        #: Total completed codes registered locally.
+        self.codes_completed_locally = 0
+        #: Encoded bytes of completion information produced by local work.
+        self.bytes_stored_local = 0
+        #: Encoded bytes of completion information learned from other members
+        #: (replicated knowledge — the paper's "redundant" storage).
+        self.bytes_stored_remote = 0
+
+    # ------------------------------------------------------------------ #
+    # Local completion
+    # ------------------------------------------------------------------ #
+    def record_completed(self, code: PathCode, *, now: float = 0.0) -> None:
+        """Register a subproblem completed by the local B&B loop."""
+        self.codes_completed_locally += 1
+        self.last_completed = code
+        self._new_local.append(code)
+        self._last_local_update = now
+        self.bytes_stored_local += code.wire_size()
+        self.table.add(code)
+
+    def record_completed_many(self, codes: Iterable[PathCode], *, now: float = 0.0) -> None:
+        """Register several locally completed subproblems at once."""
+        for code in codes:
+            self.record_completed(code, now=now)
+
+    # ------------------------------------------------------------------ #
+    # Report emission
+    # ------------------------------------------------------------------ #
+    @property
+    def pending_report_size(self) -> int:
+        """Number of completed codes waiting to be reported."""
+        return len(self._new_local)
+
+    def should_send_report(self, now: float) -> bool:
+        """Apply the paper's emission rule: threshold ``c`` or staleness."""
+        if len(self._new_local) >= self.report_threshold:
+            return True
+        if (
+            self.report_staleness is not None
+            and self._new_local
+            and (now - self._last_report_time) >= self.report_staleness
+        ):
+            return True
+        return False
+
+    def build_report(
+        self,
+        *,
+        now: float = 0.0,
+        best: Optional[BestSolution] = None,
+        compress: bool = True,
+        compress_against_table: bool = False,
+    ) -> WorkReport:
+        """Compress the pending codes into a work report and clear the list.
+
+        ``compress_against_table=False`` (the default) reproduces the paper's
+        behaviour: the outgoing list is compressed against itself only.  The
+        ablation benchmarks flip ``compress_against_table`` to measure how
+        much additional suppression the table provides, and set
+        ``compress=False`` to measure the cost of not compressing at all.
+        """
+        self._sequence += 1
+        if compress:
+            report = WorkReport.build(
+                self.owner,
+                self._new_local,
+                best=best,
+                known_table=None if not compress_against_table else self.table,
+                sequence=self._sequence,
+            )
+        else:
+            report = WorkReport(
+                sender=self.owner,
+                codes=frozenset(self._new_local),
+                best=best if best is not None else BestSolution(),
+                sequence=self._sequence,
+            )
+        self._new_local.clear()
+        self._last_report_time = now
+        self._last_local_update = now
+        return report
+
+    def build_table_snapshot(self, *, best: Optional[BestSolution] = None) -> CompletedTableSnapshot:
+        """Snapshot the whole contracted table for occasional table gossip."""
+        return CompletedTableSnapshot.from_table(self.owner, self.table, best=best)
+
+    # ------------------------------------------------------------------ #
+    # Remote information
+    # ------------------------------------------------------------------ #
+    def merge_report(self, report: WorkReport) -> bool:
+        """Merge a received work report (or table snapshot) into the table.
+
+        Returns ``True`` when the table's logical content changed.  The
+        counters feeding the redundant-communication statistics are updated as
+        a side effect.
+        """
+        changed = False
+        for code in report.codes:
+            self.codes_received += 1
+            if self.table.covers(code):
+                self.redundant_codes_received += 1
+            else:
+                self.bytes_stored_remote += code.wire_size()
+                changed |= self.table.add(code)
+        return changed
+
+    def merge_snapshot(self, snapshot: CompletedTableSnapshot) -> bool:
+        """Merge a received full-table snapshot."""
+        return self.merge_report(snapshot.as_report())
+
+    # ------------------------------------------------------------------ #
+    # Queries used by recovery and termination
+    # ------------------------------------------------------------------ #
+    def is_tree_complete(self) -> bool:
+        """True when the contracted table has collapsed to the root code."""
+        return self.table.is_complete()
+
+    def missing_subtrees(self) -> Set[PathCode]:
+        """Minimal set of subtrees not known to be completed."""
+        return complement_frontier(self.table)
+
+    def choose_recovery_problem(
+        self,
+        *,
+        strategy: SelectionStrategy = SelectionStrategy.DEEPEST,
+        rng=None,
+        exclude: Optional[Iterable[PathCode]] = None,
+    ) -> Optional[PathCode]:
+        """Pick an uncompleted subtree to regenerate (``None`` when complete)."""
+        return select_recovery_candidate(
+            self.table,
+            strategy=strategy,
+            last_completed=self.last_completed,
+            rng=rng,
+            exclude=exclude,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+    def storage_bytes(self) -> int:
+        """Estimated bytes of completion state held by this process.
+
+        Counts both the contracted table and the pending-report list, matching
+        the paper's "storage space" metric which measures the replicated
+        completion information across the system.
+        """
+        pending = sum(code.wire_size() for code in self._new_local)
+        return self.table.wire_size() + pending
+
+    def remote_information_share(self) -> float:
+        """Fraction of stored completion knowledge that came from other members.
+
+        Used to estimate the "redundant" (replicated) portion of the storage
+        footprint reported in the paper's Table 1.
+        """
+        total = self.bytes_stored_local + self.bytes_stored_remote
+        if total == 0:
+            return 0.0
+        return self.bytes_stored_remote / total
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting only
+        return (
+            f"CompletionTracker(owner={self.owner!r}, table={len(self.table)} codes, "
+            f"pending={len(self._new_local)}, complete={self.is_tree_complete()})"
+        )

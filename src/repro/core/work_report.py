@@ -1,0 +1,182 @@
+"""Work-report and completed-table message payloads.
+
+Processes disseminate knowledge about completed subproblems with two kinds of
+epidemic messages (Section 5.3.2):
+
+* **work reports** — the list of codes a process completed locally since its
+  previous report, compressed before sending; emitted when the local list
+  reaches ``c`` codes or has not been updated for a while, and sent to ``m``
+  randomly chosen members; and
+* **table gossip** — occasionally a member sends its whole contracted table of
+  completed problems to one randomly chosen member, to bring newly joined (or
+  poorly connected) members up to date and to increase consistency.
+
+Both payloads also piggy-back the sender's best-known solution value, which is
+how the paper solves the information-sharing problem ("circulating the
+best-known solution among processes, embedded in the most frequently sent
+messages", Section 5).
+
+These classes are plain value objects: the simulator wraps them in simulated
+network messages, and the ``realexec`` backend pickles them over pipes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from .codeset import CodeSet, contract
+from .encoding import PathCode
+
+__all__ = [
+    "BestSolution",
+    "WorkReport",
+    "CompletedTableSnapshot",
+    "compress_report_codes",
+]
+
+#: Fixed overhead charged per message by the byte-size model (headers,
+#: sender identity, sequence number).
+_MESSAGE_HEADER_BYTES = 32
+#: Bytes charged for an embedded best-known-solution value.
+_BEST_SOLUTION_BYTES = 10
+
+
+@dataclass(frozen=True, slots=True)
+class BestSolution:
+    """The best feasible solution value known to a process.
+
+    ``value`` is the objective value and ``origin`` identifies the process
+    that first found it (useful for tracing, not required by the algorithm).
+    ``None`` value means no feasible solution is known yet.
+    """
+
+    value: Optional[float] = None
+    origin: Optional[str] = None
+
+    def is_better_than(self, other: "BestSolution", *, minimize: bool = True) -> bool:
+        """Compare two incumbent values under the given optimisation sense."""
+        if self.value is None:
+            return False
+        if other.value is None:
+            return True
+        return self.value < other.value if minimize else self.value > other.value
+
+    def wire_size(self) -> int:
+        """Bytes contributed to a message that embeds this value."""
+        return 0 if self.value is None else _BEST_SOLUTION_BYTES
+
+
+def compress_report_codes(
+    codes: Iterable[PathCode],
+    known_table: Optional[CodeSet] = None,
+) -> FrozenSet[PathCode]:
+    """Compress an outgoing list of completed codes.
+
+    Applies the paper's two compression rules (sibling merge and ancestor
+    subsumption) to the outgoing list, and additionally drops codes already
+    covered by ``known_table`` when one is supplied — there is no point in
+    re-announcing work the receiver set is already assumed to know, and the
+    paper notes compression works best "when processors are sufficiently
+    loaded" because whole locally-completed subtrees collapse to single codes.
+    """
+    compressed = contract(codes)
+    if known_table is not None:
+        compressed = {c for c in compressed if not known_table.covers(c)}
+    return frozenset(compressed)
+
+
+@dataclass(frozen=True, slots=True)
+class WorkReport:
+    """A compressed list of newly completed subproblem codes.
+
+    Attributes
+    ----------
+    sender:
+        Identifier of the reporting process.
+    codes:
+        Compressed completed codes (pairwise non-redundant).
+    best:
+        The sender's best-known solution, piggy-backed on the report.
+    sequence:
+        Per-sender sequence number, used only for tracing and duplicate
+        accounting in the metrics — the algorithm itself is idempotent under
+        duplicated or reordered reports.
+    """
+
+    sender: str
+    codes: FrozenSet[PathCode]
+    best: BestSolution = field(default_factory=BestSolution)
+    sequence: int = 0
+
+    @classmethod
+    def build(
+        cls,
+        sender: str,
+        codes: Iterable[PathCode],
+        *,
+        best: Optional[BestSolution] = None,
+        known_table: Optional[CodeSet] = None,
+        sequence: int = 0,
+    ) -> "WorkReport":
+        """Compress ``codes`` and build the report."""
+        return cls(
+            sender=sender,
+            codes=compress_report_codes(codes, known_table),
+            best=best if best is not None else BestSolution(),
+            sequence=sequence,
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the report carries no completion information."""
+        return not self.codes
+
+    def wire_size(self) -> int:
+        """Estimated encoded size in bytes (drives the latency model)."""
+        return (
+            _MESSAGE_HEADER_BYTES
+            + sum(code.wire_size() for code in self.codes)
+            + self.best.wire_size()
+        )
+
+    def contains_root(self) -> bool:
+        """True when this is a termination announcement (root-code report)."""
+        return any(code.is_root for code in self.codes)
+
+
+@dataclass(frozen=True, slots=True)
+class CompletedTableSnapshot:
+    """A full copy of a process's contracted completed-code table.
+
+    Sent occasionally to a randomly chosen member "in order to inform new
+    members of the current state of the execution and to increase the degree
+    of consistency" (Section 5.3.2).
+    """
+
+    sender: str
+    codes: FrozenSet[PathCode]
+    best: BestSolution = field(default_factory=BestSolution)
+
+    @classmethod
+    def from_table(
+        cls, sender: str, table: CodeSet, *, best: Optional[BestSolution] = None
+    ) -> "CompletedTableSnapshot":
+        """Snapshot a live table."""
+        return cls(
+            sender=sender,
+            codes=table.codes(),
+            best=best if best is not None else BestSolution(),
+        )
+
+    def wire_size(self) -> int:
+        """Estimated encoded size in bytes."""
+        return (
+            _MESSAGE_HEADER_BYTES
+            + sum(code.wire_size() for code in self.codes)
+            + self.best.wire_size()
+        )
+
+    def as_report(self, sequence: int = 0) -> WorkReport:
+        """View the snapshot as a (large) work report for uniform handling."""
+        return WorkReport(sender=self.sender, codes=self.codes, best=self.best, sequence=sequence)

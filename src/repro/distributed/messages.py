@@ -1,0 +1,136 @@
+"""Wire messages exchanged by the distributed B&B workers.
+
+The algorithm uses a small set of message types (Sections 5 and 5.3.2):
+
+* **work requests / grants / denials** — the on-demand dynamic load-balancing
+  traffic; grants carry the *codes* of the donated subproblems (codes are
+  self-contained, so the receiver can rebuild the subproblem states locally);
+* **work reports** — compressed lists of newly completed codes, pushed to
+  ``m`` random members;
+* **table gossip** — occasional full snapshots of the contracted completed
+  table, pushed to one random member;
+* the final **root report** announcing termination (a work report whose only
+  code is the root).
+
+Every message piggy-backs the sender's best-known solution, which is how the
+paper circulates incumbent values ("embedded in the most frequently sent
+messages").  Each class exposes ``wire_size()`` so the network latency model
+and the traffic accounting see realistic sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from ..core.encoding import PathCode
+from ..core.work_report import BestSolution, CompletedTableSnapshot, WorkReport
+
+__all__ = [
+    "WorkRequest",
+    "WorkGrant",
+    "WorkDenied",
+    "WorkReportMsg",
+    "TableGossipMsg",
+    "MessageKinds",
+]
+
+_HEADER_BYTES = 32
+_BEST_BYTES = 10
+
+
+@dataclass(frozen=True, slots=True)
+class WorkRequest:
+    """A starving worker asking a randomly chosen member for work."""
+
+    requester: str
+    best: BestSolution = field(default_factory=BestSolution)
+
+    def wire_size(self) -> int:
+        """Requests are small: header plus the piggy-backed incumbent."""
+        return _HEADER_BYTES + self.best.wire_size()
+
+
+@dataclass(frozen=True, slots=True)
+class WorkGrant:
+    """Work donated in response to a request: the codes of the subproblems."""
+
+    donor: str
+    codes: Tuple[PathCode, ...]
+    best: BestSolution = field(default_factory=BestSolution)
+
+    def wire_size(self) -> int:
+        """Grant size grows with the number and depth of donated codes."""
+        return _HEADER_BYTES + sum(code.wire_size() for code in self.codes) + self.best.wire_size()
+
+
+@dataclass(frozen=True, slots=True)
+class WorkDenied:
+    """Negative answer to a work request (the donor's pool was too small)."""
+
+    donor: str
+    best: BestSolution = field(default_factory=BestSolution)
+
+    def wire_size(self) -> int:
+        """Denials are as small as requests."""
+        return _HEADER_BYTES + self.best.wire_size()
+
+
+@dataclass(frozen=True, slots=True)
+class WorkReportMsg:
+    """Envelope for a :class:`~repro.core.work_report.WorkReport`."""
+
+    report: WorkReport
+
+    def wire_size(self) -> int:
+        """Delegates to the report's own size model."""
+        return self.report.wire_size()
+
+    @property
+    def best(self) -> BestSolution:
+        """The piggy-backed incumbent."""
+        return self.report.best
+
+
+@dataclass(frozen=True, slots=True)
+class TableGossipMsg:
+    """Envelope for a full completed-table snapshot."""
+
+    snapshot: CompletedTableSnapshot
+
+    def wire_size(self) -> int:
+        """Delegates to the snapshot's own size model."""
+        return self.snapshot.wire_size()
+
+    @property
+    def best(self) -> BestSolution:
+        """The piggy-backed incumbent."""
+        return self.snapshot.best
+
+
+class MessageKinds:
+    """Canonical kind labels used by the traffic counters and traces."""
+
+    WORK_REQUEST = "work_request"
+    WORK_GRANT = "work_grant"
+    WORK_DENIED = "work_denied"
+    WORK_REPORT = "work_report"
+    TABLE_GOSSIP = "table_gossip"
+    ROOT_REPORT = "root_report"
+
+    @staticmethod
+    def of(payload: object) -> str:
+        """Classify a payload object into one of the kind labels."""
+        if isinstance(payload, WorkRequest):
+            return MessageKinds.WORK_REQUEST
+        if isinstance(payload, WorkGrant):
+            return MessageKinds.WORK_GRANT
+        if isinstance(payload, WorkDenied):
+            return MessageKinds.WORK_DENIED
+        if isinstance(payload, WorkReportMsg):
+            if payload.report.contains_root():
+                return MessageKinds.ROOT_REPORT
+            return MessageKinds.WORK_REPORT
+        if isinstance(payload, TableGossipMsg):
+            return MessageKinds.TABLE_GOSSIP
+        return "unknown"

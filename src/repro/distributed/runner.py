@@ -1,0 +1,306 @@
+"""Run configuration and orchestration of simulated distributed B&B runs.
+
+:class:`DistributedBnBSimulation` builds the whole experiment — engine,
+network (latency / loss / partitions), workers, crash schedule, metrics and
+trace — runs it to termination and returns a
+:class:`~repro.distributed.stats.RunResult` with the paper's metrics filled
+in.  :func:`run_tree_simulation` is the one-call convenience wrapper used by
+the examples and most benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..bnb.basic_tree import BasicTree
+from ..bnb.problem import BranchAndBoundProblem
+from ..bnb.tree_problem import TreeReplayProblem
+from ..simulation.engine import SimulationEngine
+from ..simulation.failures import CrashEvent, FailureInjector
+from ..simulation.metrics import MetricsCollector
+from ..simulation.network import LatencyModel, Network, Partition
+from ..simulation.rng import RngRegistry
+from ..simulation.tracing import TimelineTrace
+from .config import AlgorithmConfig
+from .messages import MessageKinds
+from .stats import RunResult, WorkerRunStats
+from .worker import WorkerEntity
+
+__all__ = [
+    "NetworkConfig",
+    "DistributedBnBSimulation",
+    "run_tree_simulation",
+    "sequential_reference_time",
+    "worker_names",
+]
+
+
+def worker_names(n: int, prefix: str = "worker") -> List[str]:
+    """Canonical worker names (``worker-00``, ``worker-01``, …)."""
+    width = max(2, len(str(max(0, n - 1))))
+    return [f"{prefix}-{i:0{width}d}" for i in range(n)]
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkConfig:
+    """Network-side parameters of a run."""
+
+    latency: LatencyModel = field(default_factory=LatencyModel.paper_default)
+    loss_probability: float = 0.0
+    partitions: Sequence[Partition] = ()
+
+    @classmethod
+    def paper_default(cls) -> "NetworkConfig":
+        """The paper's 1.5 ms + 0.005 ms/byte, lossless network."""
+        return cls()
+
+
+class DistributedBnBSimulation:
+    """Builds and runs one simulated distributed B&B execution."""
+
+    def __init__(
+        self,
+        problem: BranchAndBoundProblem,
+        n_workers: int,
+        *,
+        config: Optional[AlgorithmConfig] = None,
+        network: Optional[NetworkConfig] = None,
+        failures: Iterable[CrashEvent] = (),
+        seed: int = 0,
+        enable_trace: bool = False,
+        reference_optimum: Optional[float] = None,
+        uniprocessor_time: Optional[float] = None,
+        expected_node_cost: float = 0.0,
+        max_sim_time: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        self.problem = problem
+        self.n_workers = n_workers
+        self.expected_node_cost = expected_node_cost
+        self.config = config if config is not None else AlgorithmConfig.paper_default()
+        self.network_config = network if network is not None else NetworkConfig.paper_default()
+        self.failures = list(failures)
+        self.seed = seed
+        self.enable_trace = enable_trace
+        self.reference_optimum = reference_optimum
+        self.uniprocessor_time = uniprocessor_time
+        self.max_sim_time = max_sim_time
+        self.max_events = max_events
+
+        # Built lazily by :meth:`build`.
+        self.engine: Optional[SimulationEngine] = None
+        self.net: Optional[Network] = None
+        self.workers: List[WorkerEntity] = []
+        self.metrics = MetricsCollector()
+        self.trace: Optional[TimelineTrace] = TimelineTrace() if enable_trace else None
+        self.injector = FailureInjector(self.failures)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def build(self) -> "DistributedBnBSimulation":
+        """Instantiate the engine, network, workers and failure schedule."""
+        rng = RngRegistry(self.seed)
+        self.engine = SimulationEngine()
+        self.net = Network(
+            self.engine,
+            latency=self.network_config.latency,
+            loss_probability=self.network_config.loss_probability,
+            partitions=self.network_config.partitions,
+            rng=rng.stream("network"),
+        )
+
+        names = worker_names(self.n_workers)
+        root_sub = self.problem.root_subproblem()
+        self.workers = []
+        for index, name in enumerate(names):
+            worker = WorkerEntity(
+                name,
+                self.problem,
+                self.config,
+                names,
+                rng=rng.stream(f"worker:{name}"),
+                metrics=self.metrics,
+                trace=self.trace,
+                initial_work=[root_sub] if index == 0 else [],
+                expected_node_cost=self.expected_node_cost,
+            )
+            self.net.register(worker)
+            self.workers.append(worker)
+
+        self.injector.install(self.engine, self.net)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _stop_condition(self) -> bool:
+        for worker in self.workers:
+            if worker.alive and not worker.terminated:
+                return False
+        return True
+
+    def run(self) -> RunResult:
+        """Run the simulation to completion and assemble the result."""
+        if self.engine is None:
+            self.build()
+        assert self.engine is not None and self.net is not None
+
+        for worker in self.workers:
+            worker.on_start()
+
+        self.engine.run(
+            until=self.max_sim_time,
+            max_events=self.max_events,
+            stop_when=self._stop_condition,
+        )
+        end_time = self.engine.now
+        if self.trace is not None:
+            self.trace.finish(end_time)
+
+        return self._collect_results(end_time)
+
+    # ------------------------------------------------------------------ #
+    # Result assembly
+    # ------------------------------------------------------------------ #
+    def _collect_results(self, end_time: float) -> RunResult:
+        assert self.net is not None
+        worker_stats: Dict[str, WorkerRunStats] = {}
+        crashed: List[str] = []
+        best_value: Optional[float] = None
+        all_terminated = True
+        makespan = 0.0
+        total_expanded = 0
+        total_bb_time = 0.0
+        expanded_union: set = set()
+        expanded_total_codes = 0
+
+        for worker in self.workers:
+            stats = worker.finalize_stats()
+            worker_stats[worker.name] = stats
+            total_expanded += stats.nodes_expanded
+            total_bb_time += stats.time.get("bb", 0.0)
+            expanded_union |= worker._expanded_codes
+            expanded_total_codes += len(worker._expanded_codes)
+            if stats.crashed:
+                crashed.append(worker.name)
+                continue
+            if not stats.terminated:
+                all_terminated = False
+            if stats.terminated_at is not None:
+                makespan = max(makespan, stats.terminated_at)
+            if stats.best_value is not None:
+                if best_value is None or self.problem.is_improvement(stats.best_value, best_value):
+                    best_value = stats.best_value
+
+        if makespan == 0.0:
+            makespan = end_time
+
+        messages_by_kind: Dict[str, int] = {}
+        for worker in self.workers:
+            messages_by_kind["work_requests"] = (
+                messages_by_kind.get("work_requests", 0) + worker.stats.work_requests_sent
+            )
+            messages_by_kind["work_grants"] = (
+                messages_by_kind.get("work_grants", 0) + worker.stats.work_grants_sent
+            )
+            messages_by_kind["work_denials"] = (
+                messages_by_kind.get("work_denials", 0) + worker.stats.work_denials_sent
+            )
+            messages_by_kind["work_reports"] = (
+                messages_by_kind.get("work_reports", 0) + worker.stats.reports_sent
+            )
+            messages_by_kind["table_gossips"] = (
+                messages_by_kind.get("table_gossips", 0) + worker.stats.table_gossips_sent
+            )
+
+        redundant_nodes = expanded_total_codes - len(expanded_union)
+
+        return RunResult(
+            n_workers=self.n_workers,
+            makespan=makespan,
+            best_value=best_value,
+            reference_optimum=self.reference_optimum,
+            all_terminated=all_terminated,
+            crashed_workers=crashed,
+            workers=worker_stats,
+            total_nodes_expanded=total_expanded,
+            redundant_nodes_expanded=max(0, redundant_nodes),
+            total_bb_time=total_bb_time,
+            uniprocessor_time=self.uniprocessor_time,
+            metrics=self.metrics,
+            network=self.net.stats,
+            total_bytes_sent=self.net.stats.bytes_sent,
+            messages_by_kind=messages_by_kind,
+            trace=self.trace,
+        )
+
+
+def sequential_reference_time(
+    tree: BasicTree, *, granularity: float = 1.0, prune: bool = True
+) -> float:
+    """Uniprocessor execution time of a tree: the cost of a sequential run.
+
+    This is the reference the speedup curve of Figure 4 is measured against —
+    the time a single processor would need on the same workload.  With
+    ``prune=False`` (the paper's treatment of random test trees) this is just
+    the sum of all node times; with pruning it is measured by an actual
+    sequential run.
+    """
+    from ..bnb.pool import SelectionRule
+    from ..bnb.sequential import SequentialSolver
+
+    if not prune:
+        return tree.total_node_time() * granularity
+    problem = TreeReplayProblem(tree, granularity=granularity, prune=True)
+    result = SequentialSolver(problem).solve()
+    return result.total_cost
+
+
+def run_tree_simulation(
+    tree: BasicTree,
+    n_workers: int,
+    *,
+    config: Optional[AlgorithmConfig] = None,
+    network: Optional[NetworkConfig] = None,
+    failures: Iterable[CrashEvent] = (),
+    seed: int = 0,
+    granularity: float = 1.0,
+    prune: bool = True,
+    enable_trace: bool = False,
+    max_sim_time: Optional[float] = None,
+    max_events: Optional[int] = None,
+    uniprocessor_time: Optional[float] = None,
+    compute_uniprocessor_time: bool = True,
+) -> RunResult:
+    """Run the distributed algorithm on a basic tree and return the result.
+
+    This is the entry point the paper's experiments map onto: a precomputed
+    (or random) basic tree, a processor count, a network model, an optional
+    crash schedule, and the algorithm configuration.  ``uniprocessor_time``
+    may be passed explicitly (parameter sweeps compute it once and reuse it);
+    otherwise it is measured with a sequential pruned run unless
+    ``compute_uniprocessor_time`` is disabled.
+    """
+    problem = TreeReplayProblem(tree, granularity=granularity, prune=prune)
+    if uniprocessor_time is None and compute_uniprocessor_time:
+        uniprocessor_time = sequential_reference_time(tree, granularity=granularity, prune=prune)
+    expected_node_cost = tree.mean_node_time() * granularity
+    sim = DistributedBnBSimulation(
+        problem,
+        n_workers,
+        config=config,
+        network=network,
+        failures=failures,
+        seed=seed,
+        enable_trace=enable_trace,
+        reference_optimum=tree.optimal_value(),
+        uniprocessor_time=uniprocessor_time,
+        expected_node_cost=expected_node_cost,
+        max_sim_time=max_sim_time,
+        max_events=max_events,
+    )
+    return sim.run()

@@ -1,0 +1,689 @@
+"""The simulated worker: one process of the distributed B&B computation.
+
+A :class:`WorkerEntity` combines every piece of the algorithm described in
+Section 5 of the paper:
+
+* a local pool of active subproblems and the shared node-expansion logic
+  (:mod:`repro.bnb`), driven asynchronously — the worker only looks at its
+  message queue between node expansions, exactly as the paper's simulator
+  does ("each process, after it has solved a B&B subproblem, checks to see
+  whether any messages are pending");
+* on-demand load balancing: a starving worker asks a randomly chosen member
+  for work, the receiver donates part of its pool if it has "enough";
+* the fault-tolerance mechanism: completed codes are tracked and gossiped as
+  compressed work reports, received reports are merged and contracted, and a
+  worker that stays starved complements its table and regenerates an
+  uncompleted subproblem from its self-contained code;
+* almost-implicit termination detection: when a worker's table contracts to
+  the root code it broadcasts one final root report and stops;
+* incumbent sharing: the best-known solution piggy-backs on every message.
+
+Every unit of algorithmic work is converted into simulated time through the
+cost knobs of :class:`~repro.distributed.config.AlgorithmConfig` and charged
+to one of the paper's five accounting categories (B&B, communication, list
+contraction, load balancing, idle), which is what the Figure 3 / Table 1
+benchmarks read back out.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bnb.pool import SubproblemPool
+from ..bnb.problem import BranchAndBoundProblem, Subproblem
+from ..bnb.sequential import NodeExpander
+from ..core.completion import CompletionTracker
+from ..core.encoding import PathCode
+from ..core.recovery import RecoveryPolicy
+from ..core.termination import TerminationDetector, make_root_report
+from ..core.work_report import BestSolution
+from ..simulation.entity import Entity, QueuedMessage
+from ..simulation.metrics import MetricsCollector
+from ..simulation.tracing import TimelineTrace
+from .config import AlgorithmConfig
+from .messages import (
+    MessageKinds,
+    TableGossipMsg,
+    WorkDenied,
+    WorkGrant,
+    WorkReportMsg,
+    WorkRequest,
+)
+from .stats import WorkerRunStats
+
+__all__ = ["WorkerEntity"]
+
+
+class WorkerEntity(Entity):
+    """One simulated process running the fault-tolerant distributed B&B.
+
+    Parameters
+    ----------
+    name:
+        Unique worker name (also its network address).
+    problem:
+        The optimisation problem (typically a
+        :class:`~repro.bnb.tree_problem.TreeReplayProblem`).  Every worker
+        holds the full initial data, as in the paper (handed out by a gossip
+        server on join).
+    config:
+        Algorithm tunables.
+    members:
+        Names of all participating workers (static membership, as in the
+        paper's simulations).  The worker excludes itself when choosing
+        victims and report targets.
+    rng:
+        Seeded random stream for this worker's choices.
+    metrics, trace:
+        Shared collectors owned by the runner.
+    initial_work:
+        Subproblems this worker starts with (usually only worker 0 receives
+        the root problem).
+    expected_node_cost:
+        A-priori estimate of the per-node cost (e.g. the workload tree's mean
+        node time).  Seeds the moving average used by the adaptive recovery
+        threshold so that a worker that has not expanded anything yet does not
+        treat ordinary start-up starvation as lost work.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        problem: BranchAndBoundProblem,
+        config: AlgorithmConfig,
+        members: Sequence[str],
+        *,
+        rng: Optional[random.Random] = None,
+        metrics: Optional[MetricsCollector] = None,
+        trace: Optional[TimelineTrace] = None,
+        initial_work: Sequence[Subproblem] = (),
+        expected_node_cost: float = 0.0,
+    ) -> None:
+        super().__init__(name)
+        self.problem = problem
+        self.config = config
+        self.members = list(members)
+        self.peers = [m for m in self.members if m != name]
+        self.rng = rng if rng is not None else random.Random(0)
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.metrics.register(name)
+        self.trace = trace
+
+        # Algorithm state ------------------------------------------------- #
+        self.expander = NodeExpander(problem)
+        self.pool: SubproblemPool = SubproblemPool(
+            config.selection_rule, minimize=problem.minimize
+        )
+        self.tracker = CompletionTracker(
+            name,
+            report_threshold=config.report_threshold,
+            report_staleness=config.report_staleness,
+        )
+        self.termination = TerminationDetector(self.tracker)
+        self.recovery = RecoveryPolicy(
+            failed_request_threshold=config.recovery_failed_threshold,
+            idle_time_threshold=config.recovery_idle_threshold,
+            strategy=config.recovery_strategy,
+            rng=self.rng,
+        )
+        self.incumbent: BestSolution = BestSolution()
+        self.stats = WorkerRunStats(name=name)
+        self._initial_work = list(initial_work)
+
+        # Scheduling state ------------------------------------------------- #
+        self._step_scheduled = False
+        self._idle_since: Optional[float] = None
+        self._outstanding_request: Optional[Tuple[str, float, int]] = None
+        self._request_seq = 0
+        self._last_lb_attempt: Optional[float] = None
+        self._last_table_gossip = 0.0
+        self._idle_poll_armed = False
+        self._finished = False
+        self._expanded_codes: set = set()
+        #: Exponential moving average of recent node costs, used to scale the
+        #: recovery starvation threshold to the workload's granularity.
+        self._avg_node_cost = max(0.0, expected_node_cost)
+        #: Time at which this worker first found itself starved with nothing
+        #: known about the computation (used by the bootstrap gate).
+        self._starved_blank_since: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Small helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def terminated(self) -> bool:
+        """True once this worker has detected global termination."""
+        return self.termination.terminated
+
+    def _now(self) -> float:
+        assert self.engine is not None
+        return self.engine.now
+
+    def _charge(self, category: str, amount: float) -> float:
+        """Charge simulated time to an accounting category and return it."""
+        if amount > 0:
+            self.metrics.charge(self.name, category, amount)
+        return max(0.0, amount)
+
+    def _trace_state(self, state: str) -> None:
+        if self.trace is not None:
+            self.trace.set_state(self.name, state, self._now())
+
+    def _update_incumbent(self, value: Optional[float], origin: str) -> bool:
+        """Adopt a better incumbent value; returns True when it improved."""
+        if value is None:
+            return False
+        if self.problem.is_improvement(value, self.incumbent.value):
+            self.incumbent = BestSolution(value=value, origin=origin)
+            return True
+        return False
+
+    def _absorb_best(self, payload) -> None:
+        if not self.config.share_best_solution:
+            return
+        best = getattr(payload, "best", None)
+        if isinstance(best, BestSolution) and best.value is not None:
+            self._update_incumbent(best.value, best.origin or "remote")
+
+    def _my_best(self) -> BestSolution:
+        return self.incumbent if self.config.share_best_solution else BestSolution()
+
+    def _update_storage_metric(self) -> None:
+        footprint = self.tracker.storage_bytes() + self.pool.storage_bytes()
+        redundant = int(round(footprint * self.tracker.remote_information_share()))
+        self.metrics.update_storage(self.name, footprint, redundant)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def on_start(self) -> None:
+        for sub in self._initial_work:
+            self.pool.push(sub, bound=self.problem.bound(sub.state))
+        self._last_table_gossip = self._now()
+        self._trace_state("idle" if not self.pool else "working")
+        self._schedule_step(0.0)
+
+    def on_crash(self) -> None:
+        self.stats.crashed = True
+        self.stats.crashed_at = self._now()
+        self._trace_state("crashed")
+
+    def on_message_queued(self, message: QueuedMessage) -> None:
+        # A worker busy expanding nodes leaves the message in its queue until
+        # the current expansion finishes (a step is already scheduled).  An
+        # idle worker reacts immediately.
+        if self.alive and not self.terminated and not self._step_scheduled:
+            self._schedule_step(0.0)
+
+    def on_wakeup(self, reason: str) -> None:
+        if not self.alive or self.terminated:
+            return
+        if reason.startswith("lb-timeout:"):
+            seq = int(reason.split(":", 1)[1])
+            if self._outstanding_request is not None and self._outstanding_request[2] == seq:
+                # The request went unanswered (lost message, dead or busy
+                # victim): that counts as a failed attempt for the recovery
+                # policy's starvation rule.
+                self._outstanding_request = None
+                self.recovery.note_request_failed(self._now())
+            if not self._step_scheduled:
+                self._schedule_step(0.0)
+        elif reason == "idle-poll":
+            self._idle_poll_armed = False
+            if not self._step_scheduled:
+                self._schedule_step(0.0)
+
+    # ------------------------------------------------------------------ #
+    # Step scheduling
+    # ------------------------------------------------------------------ #
+    def _schedule_step(self, delay: float) -> None:
+        if not self.alive or self.terminated or self._step_scheduled:
+            return
+        self._step_scheduled = True
+        assert self.engine is not None
+        self.engine.schedule(delay, self._step, label=f"{self.name}:step")
+
+    def _step(self) -> None:
+        self._step_scheduled = False
+        if not self.alive or self.terminated:
+            return
+        now = self._now()
+
+        # Close an idle period if one was open.
+        if self._idle_since is not None:
+            self._charge("idle", now - self._idle_since)
+            self._idle_since = None
+
+        overhead = 0.0
+        overhead += self._process_messages()
+        if self.terminated:
+            # Termination may have been detected while merging reports; the
+            # detector knows whether this worker still owes the final root
+            # broadcast (only the "local" detection path does).
+            self._finish_termination(broadcast=self.config.send_root_report)
+            return
+        overhead += self._maybe_send_reports()
+
+        if self._check_local_termination():
+            return
+
+        if not self.pool:
+            if self.config.flush_report_when_idle and self.tracker.pending_report_size:
+                overhead += self._flush_report()
+                if self._check_local_termination():
+                    return
+            overhead += self._handle_starvation()
+            if not self.pool:
+                # Still nothing to do: go idle until a message or poll timer
+                # wakes us up.
+                self._go_idle(now + overhead, overhead)
+                return
+
+        # Expand the next subproblem that is not already known completed.
+        sub = self._next_uncovered_subproblem()
+        if sub is None:
+            self._go_idle(now + overhead, overhead)
+            return
+
+        self._trace_state("working")
+        cost = self._expand(sub)
+        self._update_storage_metric()
+
+        if self._check_local_termination():
+            return
+        self._schedule_step(overhead + cost)
+
+    def _go_idle(self, idle_from: float, overhead: float) -> None:
+        """Enter the idle state and make sure exactly one poll timer is armed."""
+        self._idle_since = idle_from
+        self._trace_state("idle")
+        if not self._idle_poll_armed:
+            self._idle_poll_armed = True
+            self.set_timer(max(overhead, 0.0) + self.config.idle_poll_interval, "idle-poll")
+
+    # ------------------------------------------------------------------ #
+    # Expansion
+    # ------------------------------------------------------------------ #
+    def _next_uncovered_subproblem(self) -> Optional[Subproblem]:
+        """Pop subproblems until one not already covered by the table is found."""
+        while self.pool:
+            sub = self.pool.pop()
+            if self.config.abort_redundant_work and self.tracker.table.covers(sub.code):
+                # Someone else already completed this subtree: drop it and
+                # record the aborted (would-have-been-redundant) work.
+                self.stats.nodes_skipped_covered += 1
+                if sub.code in self.recovery.active_recoveries:
+                    self.recovery.note_recovery_aborted(sub.code)
+                    self.stats.recovery_aborted += 1
+                continue
+            return sub
+        return None
+
+    def _expand(self, sub: Subproblem) -> float:
+        """Expand one subproblem; returns the B&B time charged."""
+        outcome = self.expander.expand(sub, self.incumbent.value)
+        self.stats.nodes_expanded += 1
+        if outcome.status == "pruned":
+            self.stats.nodes_pruned += 1
+        if sub.code in self._expanded_codes:
+            self.stats.redundant_expansions += 1
+        else:
+            self._expanded_codes.add(sub.code)
+
+        if outcome.incumbent_value is not None:
+            self._update_incumbent(outcome.incumbent_value, self.name)
+
+        now = self._now()
+        before = self.tracker.table.stats.elementary_operations()
+        for code in outcome.completed:
+            self.tracker.record_completed(code, now=now)
+            self.stats.completed_codes_local += 1
+            if code in self.recovery.active_recoveries:
+                self.recovery.note_recovery_finished(code, redundant=False)
+        ops = self.tracker.table.stats.elementary_operations() - before
+        self._charge("contraction", ops * self.config.contraction_cost_per_op)
+
+        for child, child_bound in outcome.children:
+            self.pool.push(child, bound=child_bound)
+
+        if outcome.cost > 0:
+            if self._avg_node_cost <= 0:
+                self._avg_node_cost = outcome.cost
+            else:
+                self._avg_node_cost = 0.9 * self._avg_node_cost + 0.1 * outcome.cost
+
+        return self._charge("bb", outcome.cost)
+
+    # ------------------------------------------------------------------ #
+    # Message processing
+    # ------------------------------------------------------------------ #
+    def _process_messages(self) -> float:
+        """Handle every queued message; returns the overhead time charged."""
+        overhead = 0.0
+        while self.inbox and self.alive:
+            message = self.inbox.popleft()
+            overhead += self._handle_message(message)
+            if self.terminated:
+                break
+        return overhead
+
+    def _handle_message(self, message: QueuedMessage) -> float:
+        payload = message.payload
+        now = self._now()
+        receive_cost = (
+            self.config.msg_processing_base
+            + self.config.msg_processing_per_byte * message.size_bytes
+        )
+        self._absorb_best(payload)
+
+        if isinstance(payload, WorkRequest):
+            return self._charge("load_balancing", receive_cost) + self._answer_work_request(payload)
+        if isinstance(payload, WorkGrant):
+            return self._charge("load_balancing", receive_cost) + self._accept_work_grant(payload)
+        if isinstance(payload, WorkDenied):
+            self._outstanding_request = None
+            self.recovery.note_request_failed(now)
+            return self._charge("load_balancing", receive_cost)
+        if isinstance(payload, WorkReportMsg):
+            cost = self._charge("communication", receive_cost)
+            return cost + self._merge_report(payload)
+        if isinstance(payload, TableGossipMsg):
+            cost = self._charge("communication", receive_cost)
+            return cost + self._merge_snapshot(payload)
+        # Unknown payloads (e.g. membership gossip when layered) are charged
+        # as plain communication handling.
+        return self._charge("communication", receive_cost)
+
+    def _merge_report(self, msg: WorkReportMsg) -> float:
+        now = self._now()
+        before_ops = self.tracker.table.stats.elementary_operations()
+        self.tracker.merge_report(msg.report)
+        newly_terminated = self.termination.observe_report(msg.report, now)
+        ops = self.tracker.table.stats.elementary_operations() - before_ops
+        cost = self._charge("contraction", ops * self.config.contraction_cost_per_op)
+        if newly_terminated:
+            self.stats.terminated_via = self.termination.detected_via
+        self._abort_covered_recoveries()
+        return cost
+
+    def _merge_snapshot(self, msg: TableGossipMsg) -> float:
+        now = self._now()
+        before_ops = self.tracker.table.stats.elementary_operations()
+        self.tracker.merge_snapshot(msg.snapshot)
+        self.termination.observe_report(msg.snapshot.as_report(), now)
+        ops = self.tracker.table.stats.elementary_operations() - before_ops
+        cost = self._charge("contraction", ops * self.config.contraction_cost_per_op)
+        self._abort_covered_recoveries()
+        return cost
+
+    def _abort_covered_recoveries(self) -> None:
+        """Drop active recovery subproblems that turned out to be completed."""
+        if not self.config.abort_redundant_work:
+            return
+        for code in list(self.recovery.active_recoveries):
+            if self.recovery.should_abort(self.tracker, code):
+                self.recovery.note_recovery_aborted(code)
+                self.stats.recovery_aborted += 1
+
+    # ------------------------------------------------------------------ #
+    # Load balancing
+    # ------------------------------------------------------------------ #
+    def _answer_work_request(self, request: WorkRequest) -> float:
+        cost = 0.0
+        if self.pool.can_donate(keep_at_least=self.config.lb_keep_at_least):
+            share = max(1, int(len(self.pool) * self.config.lb_donation_fraction))
+            donated = self.pool.take_for_donation(
+                max_count=min(self.config.lb_donation_max, share),
+                keep_at_least=self.config.lb_keep_at_least,
+                prefer_shallow=self.config.lb_prefer_shallow,
+            )
+            grant = WorkGrant(
+                donor=self.name,
+                codes=tuple(sub.code for sub in donated),
+                best=self._my_best(),
+            )
+            self.send(request.requester, grant)
+            self.stats.work_grants_sent += 1
+        else:
+            self.send(request.requester, WorkDenied(donor=self.name, best=self._my_best()))
+            self.stats.work_denials_sent += 1
+        cost += self._charge("load_balancing", self.config.msg_send_cost)
+        return cost
+
+    def _accept_work_grant(self, grant: WorkGrant) -> float:
+        self._outstanding_request = None
+        rebuild_cost = 0.0
+        accepted = 0
+        for code in grant.codes:
+            if self.tracker.table.covers(code):
+                continue  # already known completed; no point rebuilding
+            sub = self.problem.rebuild_subproblem(code)
+            rebuild_cost += self.config.rebuild_cost_per_decision * max(1, code.depth)
+            if sub is None:
+                # The code replays to an infeasible state: it is a completed
+                # leaf by construction and can be recorded as such.
+                self.tracker.record_completed(code, now=self._now())
+                continue
+            self.pool.push(sub, bound=self.problem.bound(sub.state))
+            accepted += 1
+        if accepted:
+            self.recovery.note_work_obtained()
+            self.stats.work_grants_received += 1
+        else:
+            self.recovery.note_request_failed(self._now())
+        return self._charge("load_balancing", rebuild_cost)
+
+    def _effective_idle_threshold(self) -> Optional[float]:
+        """Starvation time required before loss is suspected (granularity-aware)."""
+        base = self.config.recovery_idle_threshold or 0.0
+        adaptive = self.config.recovery_idle_cost_factor * self._avg_node_cost
+        threshold = max(base, adaptive)
+        return threshold if threshold > 0 else None
+
+    def _bootstrap_timeout(self) -> float:
+        """Starvation a blank worker must endure before regenerating the root."""
+        if self.config.recovery_bootstrap_timeout is not None:
+            return self.config.recovery_bootstrap_timeout
+        return max(10.0, 30.0 * self._avg_node_cost)
+
+    def _may_recover(self, now: float) -> bool:
+        """Gate against mistaking start-up starvation for lost work.
+
+        A worker that has expanded at least one node, or whose table records
+        any completed work, has evidence the computation is under way and may
+        suspect loss normally.  A completely blank worker (fresh join, nothing
+        heard yet) only falls back to recovery after the bootstrap timeout —
+        otherwise every idle member would regenerate the root problem during
+        ramp-up and the whole tree would be solved n times over.
+        """
+        if self.stats.nodes_expanded > 0 or len(self.tracker.table) > 0:
+            self._starved_blank_since = None
+            return True
+        if self._starved_blank_since is None:
+            self._starved_blank_since = now
+            return False
+        return (now - self._starved_blank_since) >= self._bootstrap_timeout()
+
+    def _handle_starvation(self) -> float:
+        """Pool is empty: try recovery, then load balancing."""
+        now = self._now()
+        cost = 0.0
+
+        # With an empty pool nothing is genuinely "in progress" any more: a
+        # recovery subproblem that is still uncovered must have been lost
+        # again (for example donated to a peer that crashed, or shipped in a
+        # grant that the network dropped).  Forget it so the complement can
+        # offer that subtree again — otherwise the exclusion would block the
+        # last missing piece forever.
+        for code in list(self.recovery.active_recoveries):
+            if not self.tracker.table.covers(code):
+                self.recovery.active_recoveries.discard(code)
+
+        # First, see whether starvation already justifies regenerating work.
+        self.recovery.idle_time_threshold = self._effective_idle_threshold()
+        if self._may_recover(now):
+            decision = self.recovery.evaluate(self.tracker, now)
+            if decision.code is not None:
+                cost += self._start_recovery(decision.code)
+                return cost
+
+        if not self.peers:
+            # Single-process group: there is nobody to ask, so every poll
+            # counts as a failed load-balancing attempt and recovery kicks in
+            # after the configured threshold.
+            self.recovery.note_request_failed(now)
+            decision = self.recovery.evaluate(self.tracker, now)
+            if decision.code is not None:
+                cost += self._start_recovery(decision.code)
+            return cost
+
+        # Starved workers have spare capacity: use it to converge the
+        # completed-table views, which is what unblocks termination detection
+        # (and prevents needless recovery of work that is already done).
+        if (
+            self.config.table_gossip_when_idle
+            and self.peers
+            and (now - self._last_table_gossip) >= self.config.idle_poll_interval
+        ):
+            snapshot = self.tracker.build_table_snapshot(best=self._my_best())
+            target = self.rng.choice(self.peers)
+            self.send(target, TableGossipMsg(snapshot))
+            self.stats.table_gossips_sent += 1
+            self._last_table_gossip = now
+            cost += self._charge("communication", self.config.msg_send_cost)
+
+        may_request = (
+            self._last_lb_attempt is None
+            or (now - self._last_lb_attempt) >= self.config.lb_retry_backoff
+        )
+        if self._outstanding_request is None and may_request:
+            victim = self.rng.choice(self.peers)
+            self.send(victim, WorkRequest(requester=self.name, best=self._my_best()))
+            self.stats.work_requests_sent += 1
+            self._request_seq += 1
+            self._outstanding_request = (victim, now, self._request_seq)
+            self._last_lb_attempt = now
+            self.set_timer(self.config.work_request_timeout, f"lb-timeout:{self._request_seq}")
+            cost += self._charge("load_balancing", self.config.msg_send_cost)
+        self._trace_state("load_balancing")
+        return cost
+
+    def _start_recovery(self, code: PathCode) -> float:
+        """Regenerate an uncompleted subproblem from its code."""
+        sub = self.problem.rebuild_subproblem(code)
+        rebuild_cost = self.config.rebuild_cost_per_decision * max(1, code.depth)
+        self.recovery.note_recovery_started(code)
+        self.stats.recovery_activations += 1
+        self._trace_state("recovery")
+        if sub is None:
+            # Replaying the code hits an infeasible decision: the subproblem
+            # is trivially completed.
+            self.tracker.record_completed(code, now=self._now())
+            self.recovery.note_recovery_finished(code, redundant=False)
+        else:
+            self.pool.push(sub, bound=self.problem.bound(sub.state))
+        return self._charge("load_balancing", rebuild_cost)
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def _flush_report(self) -> float:
+        """Build and send a work report from the pending completed codes."""
+        now = self._now()
+        cost = 0.0
+        pending = self.tracker.pending_report_size
+        if pending == 0:
+            return cost
+        report = self.tracker.build_report(
+            now=now,
+            best=self._my_best(),
+            compress=self.config.compress_reports,
+            compress_against_table=self.config.compress_against_table,
+        )
+        if report.is_empty:
+            return cost
+        cost += self._charge("contraction", pending * self.config.contraction_cost_per_op)
+        targets = self._choose_report_targets(self.config.report_fanout)
+        for target in targets:
+            self.send(target, WorkReportMsg(report))
+            cost += self._charge("communication", self.config.msg_send_cost)
+        self.stats.reports_sent += 1
+        return cost
+
+    def _maybe_send_reports(self) -> float:
+        now = self._now()
+        cost = 0.0
+
+        if self.tracker.should_send_report(now):
+            cost += self._flush_report()
+
+        interval = self.config.table_gossip_interval
+        if interval is not None and (now - self._last_table_gossip) >= interval and self.peers:
+            snapshot = self.tracker.build_table_snapshot(best=self._my_best())
+            target = self.rng.choice(self.peers)
+            self.send(target, TableGossipMsg(snapshot))
+            self.stats.table_gossips_sent += 1
+            self._last_table_gossip = now
+            cost += self._charge("communication", self.config.msg_send_cost)
+        return cost
+
+    def _choose_report_targets(self, fanout: int) -> List[str]:
+        if not self.peers:
+            return []
+        count = min(fanout, len(self.peers))
+        return self.rng.sample(self.peers, count)
+
+    # ------------------------------------------------------------------ #
+    # Termination
+    # ------------------------------------------------------------------ #
+    def _check_local_termination(self) -> bool:
+        now = self._now()
+        if self.termination.check_local(now):
+            self.stats.terminated_via = "local"
+            self._finish_termination(broadcast=self.config.send_root_report)
+            return True
+        if self.terminated:
+            self._finish_termination(broadcast=False)
+            return True
+        return False
+
+    def _finish_termination(self, *, broadcast: bool) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        now = self._now()
+        if broadcast and self.termination.needs_root_broadcast():
+            root_report = make_root_report(self.name, best=self._my_best())
+            for member in self.peers:
+                self.send(member, WorkReportMsg(root_report))
+                self._charge("communication", self.config.msg_send_cost)
+            self.termination.mark_root_broadcast_sent()
+        if self._idle_since is not None:
+            self._charge("idle", now - self._idle_since)
+            self._idle_since = None
+        self.pool.clear()
+        self.stats.terminated = True
+        self.stats.terminated_at = now
+        if self.stats.terminated_via is None:
+            self.stats.terminated_via = self.termination.detected_via
+        self.stats.best_value = self.incumbent.value
+        self._trace_state("terminated")
+        self._update_storage_metric()
+
+    # ------------------------------------------------------------------ #
+    # Final statistics
+    # ------------------------------------------------------------------ #
+    def finalize_stats(self) -> WorkerRunStats:
+        """Fill in the derived fields of the per-worker statistics."""
+        self.stats.nodes_pruned = self.expander.nodes_pruned
+        self.stats.best_value = self.incumbent.value
+        self.stats.recovery_activations = self.recovery.stats.activations
+        account = self.metrics.time.get(self.name)
+        if account is not None:
+            self.stats.time = account.as_dict()
+        storage = self.metrics.storage.get(self.name)
+        if storage is not None:
+            self.stats.storage_peak_bytes = storage.peak_bytes
+            self.stats.storage_redundant_bytes = storage.redundant_bytes
+        return self.stats

@@ -1,0 +1,40 @@
+"""Epidemic communication: rumor mongering, membership, failure detection.
+
+Implements the paper's Section 5.1/5.2 machinery:
+
+* :mod:`repro.gossip.rumor` — counter-based rumor mongering (the epidemic
+  primitive both the membership protocol and the fault-tolerance reports use);
+* :mod:`repro.gossip.membership` — the timestamp-based group membership
+  protocol with gossip servers, per-member views and suspicion timeouts;
+* :mod:`repro.gossip.failure_detector` — the heartbeat-counter variant of the
+  epidemic failure detector (van Renesse et al.), provided for completeness;
+* :mod:`repro.gossip.gossip_server` — simulated entities running the
+  membership protocol on the discrete-event network.
+"""
+
+from .failure_detector import GossipFailureDetector, HeartbeatEntry
+from .gossip_server import GossipMemberEntity, GossipServerEntity, JoinAnnouncement, ViewGossip
+from .membership import (
+    MemberInfo,
+    MembershipConfig,
+    MembershipProtocol,
+    MembershipView,
+    ViewDigest,
+)
+from .rumor import Rumor, RumorMonger
+
+__all__ = [
+    "Rumor",
+    "RumorMonger",
+    "MemberInfo",
+    "MembershipView",
+    "MembershipConfig",
+    "MembershipProtocol",
+    "ViewDigest",
+    "GossipFailureDetector",
+    "HeartbeatEntry",
+    "GossipMemberEntity",
+    "GossipServerEntity",
+    "JoinAnnouncement",
+    "ViewGossip",
+]

@@ -1,0 +1,161 @@
+"""Simulated membership entities: gossip servers and gossiping members.
+
+These entities run the :class:`~repro.gossip.membership.MembershipProtocol`
+over the discrete-event network, reproducing the join / gossip / suspicion /
+cleanup cycle of Section 5.2:
+
+* a new member announces itself to one or more well-known gossip servers;
+* gossip servers (ordinary members, but assumed always reachable) propagate
+  the announcement epidemically;
+* every member periodically pushes its view to a random peer and ages out
+  members it has not heard about.
+
+The distributed B&B runner can operate with a static member list (as the
+paper's own simulations do — "we do not include yet the membership protocol")
+or with these entities layered underneath; the membership example and the
+gossip test-suite exercise the dynamic behaviour directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..simulation.entity import Entity, QueuedMessage
+from .membership import MembershipConfig, MembershipProtocol, ViewDigest
+
+__all__ = ["JoinAnnouncement", "ViewGossip", "GossipMemberEntity", "GossipServerEntity"]
+
+
+@dataclass(frozen=True, slots=True)
+class JoinAnnouncement:
+    """A new member announcing itself to a gossip server."""
+
+    member: str
+
+    def wire_size(self) -> int:
+        """Join messages are tiny: a name and a header."""
+        return 40
+
+
+@dataclass(frozen=True, slots=True)
+class ViewGossip:
+    """A pushed membership view digest."""
+
+    sender: str
+    digest: ViewDigest
+
+    def wire_size(self) -> int:
+        """Size scales with the number of view entries."""
+        return 24 + 14 * len(self.digest)
+
+
+class GossipMemberEntity(Entity):
+    """An ordinary member running the epidemic membership protocol."""
+
+    def __init__(
+        self,
+        name: str,
+        config: MembershipConfig,
+        *,
+        gossip_servers: Optional[List[str]] = None,
+        rng=None,
+        is_gossip_server: bool = False,
+    ) -> None:
+        super().__init__(name)
+        self.config = config
+        self.known_servers = list(gossip_servers or [])
+        self.protocol = MembershipProtocol(
+            name, config, is_gossip_server=is_gossip_server, rng=rng
+        )
+        #: Simulated time at which the member joined (set on start).
+        self.joined_at: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def on_start(self) -> None:
+        assert self.engine is not None
+        self.joined_at = self.engine.now
+        # Announce the join to every known gossip server.
+        for server in self.known_servers:
+            if server != self.name:
+                self.protocol.view.heard_from(server, self.engine.now, is_gossip_server=True)
+                self.send(server, JoinAnnouncement(self.name))
+        self.set_timer(self.config.gossip_interval, "gossip")
+
+    def on_wakeup(self, reason: str) -> None:
+        if reason != "gossip" or not self.alive:
+            return
+        assert self.engine is not None
+        now = self.engine.now
+        self.process_pending_messages()
+        digest = self.protocol.make_digest(now)
+        for target in self.protocol.gossip_targets(now):
+            self.send(target, ViewGossip(self.name, digest))
+        self.protocol.run_cleanup(now)
+        self.set_timer(self.config.gossip_interval, "gossip")
+
+    # ------------------------------------------------------------------ #
+    # Message handling
+    # ------------------------------------------------------------------ #
+    def on_message_queued(self, message: QueuedMessage) -> None:
+        # Membership traffic is cheap to handle; process it immediately rather
+        # than waiting for the next gossip round so joins propagate fast.
+        self.process_pending_messages()
+
+    def on_message(self, message: QueuedMessage) -> None:
+        assert self.engine is not None
+        now = self.engine.now
+        payload = message.payload
+        if isinstance(payload, JoinAnnouncement):
+            self.protocol.on_join_announcement(payload.member, now)
+            self.protocol.view.heard_from(message.sender, now)
+        elif isinstance(payload, ViewGossip):
+            self.protocol.on_digest(payload.sender, payload.digest, now)
+
+    # ------------------------------------------------------------------ #
+    # Queries used by tests and examples
+    # ------------------------------------------------------------------ #
+    def current_view(self) -> List[str]:
+        """Members this entity currently believes are part of the group."""
+        assert self.engine is not None
+        return self.protocol.alive_members(self.engine.now)
+
+    def suspected(self) -> List[str]:
+        """Members this entity currently suspects have failed."""
+        assert self.engine is not None
+        return self.protocol.suspected_members(self.engine.now)
+
+
+class GossipServerEntity(GossipMemberEntity):
+    """A gossip server: an always-available member that seeds initial data.
+
+    Besides propagating join announcements like any member, the server can
+    hand out an ``initial_payload`` (in the full system, the problem's initial
+    data) to every member that announces itself — the paper's "the code, along
+    with the initial data, which is provided by a gossip server when a process
+    joins the computation, is enough to initiate a problem on any processor".
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: MembershipConfig,
+        *,
+        initial_payload: Any = None,
+        rng=None,
+    ) -> None:
+        super().__init__(name, config, gossip_servers=[], rng=rng, is_gossip_server=True)
+        self.initial_payload = initial_payload
+        #: Members that have announced themselves to this server.
+        self.announced: List[str] = []
+
+    def on_message(self, message: QueuedMessage) -> None:
+        assert self.engine is not None
+        payload = message.payload
+        if isinstance(payload, JoinAnnouncement):
+            self.announced.append(payload.member)
+            if self.initial_payload is not None:
+                self.send(payload.member, self.initial_payload)
+        super().on_message(message)

@@ -1,0 +1,267 @@
+"""Epidemic group-membership protocol (Section 5.2 of the paper).
+
+Consistent group membership is impossible in an asynchronous, unreliable
+system, so the paper settles for a cheap, gossip-style protocol inspired by
+van Renesse's failure-detection service: every member keeps a *view* mapping
+each known member to the last time it heard about it (directly or through
+gossip); views are exchanged epidemically; a member whose entry has not been
+refreshed within a timeout is considered failed and eventually dropped.
+
+New members join by announcing themselves to one or more well-known *gossip
+servers*, which behave like ordinary members except that at least one of them
+is assumed to be reachable at all times; their job is simply to propagate the
+news about new arrivals (and to hand out the initial problem data).
+
+This module holds the protocol logic (:class:`MembershipView`,
+:class:`MembershipProtocol`); the simulated entities that run it over the
+discrete-event network are in :mod:`repro.gossip.gossip_server`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["MemberInfo", "MembershipView", "MembershipConfig", "MembershipProtocol", "ViewDigest"]
+
+
+@dataclass
+class MemberInfo:
+    """What a member knows about one other member."""
+
+    name: str
+    last_heard: float
+    joined_at: float
+    is_gossip_server: bool = False
+
+
+#: The wire representation of a view: ``(name, last_heard, is_gossip_server)``.
+ViewDigest = Tuple[Tuple[str, float, bool], ...]
+
+#: Estimated bytes per digest entry (name hash + timestamp + flag).
+_DIGEST_ENTRY_BYTES = 14
+_DIGEST_HEADER_BYTES = 24
+
+
+@dataclass(frozen=True, slots=True)
+class MembershipConfig:
+    """Tunables of the membership protocol.
+
+    ``gossip_interval`` is how often a member pushes its view to a random
+    peer; ``failure_timeout`` is how long an entry may go unrefreshed before
+    the member is suspected failed; ``cleanup_timeout`` is when a suspected
+    entry is removed entirely (it must exceed the failure timeout so that a
+    removed member does not immediately reappear through stale gossip —
+    van Renesse's double-timeout rule).
+    """
+
+    gossip_interval: float = 1.0
+    failure_timeout: float = 5.0
+    cleanup_timeout: float = 10.0
+    gossip_fanout: int = 1
+
+    def __post_init__(self) -> None:
+        if self.gossip_interval <= 0:
+            raise ValueError("gossip_interval must be positive")
+        if self.failure_timeout <= 0:
+            raise ValueError("failure_timeout must be positive")
+        if self.cleanup_timeout < self.failure_timeout:
+            raise ValueError("cleanup_timeout must be at least failure_timeout")
+        if self.gossip_fanout < 1:
+            raise ValueError("gossip_fanout must be at least 1")
+
+
+class MembershipView:
+    """One member's view of the group."""
+
+    def __init__(self, owner: str, *, now: float = 0.0, is_gossip_server: bool = False) -> None:
+        self.owner = owner
+        self._members: Dict[str, MemberInfo] = {
+            owner: MemberInfo(owner, last_heard=now, joined_at=now, is_gossip_server=is_gossip_server)
+        }
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def heard_from(self, name: str, now: float, *, is_gossip_server: bool = False) -> bool:
+        """Refresh (or create) an entry after hearing from/about a member.
+
+        Returns ``True`` when the member was previously unknown.
+        """
+        info = self._members.get(name)
+        if info is None:
+            self._members[name] = MemberInfo(
+                name, last_heard=now, joined_at=now, is_gossip_server=is_gossip_server
+            )
+            return True
+        if now > info.last_heard:
+            info.last_heard = now
+        info.is_gossip_server = info.is_gossip_server or is_gossip_server
+        return False
+
+    def merge_digest(self, digest: ViewDigest, now: float) -> List[str]:
+        """Merge a received view digest; returns names that were new.
+
+        Entries are merged with a last-writer-wins rule on ``last_heard``;
+        the local clock is never moved forward by remote timestamps beyond
+        ``now`` (clocks are only assumed to have accurate *rates*, not to be
+        synchronised — Section 4 — so remote timestamps are clamped).
+        """
+        new_members: List[str] = []
+        for name, last_heard, is_server in digest:
+            clamped = min(last_heard, now)
+            info = self._members.get(name)
+            if info is None:
+                self._members[name] = MemberInfo(
+                    name, last_heard=clamped, joined_at=now, is_gossip_server=is_server
+                )
+                new_members.append(name)
+            else:
+                if clamped > info.last_heard:
+                    info.last_heard = clamped
+                info.is_gossip_server = info.is_gossip_server or is_server
+        return new_members
+
+    def remove(self, name: str) -> None:
+        """Drop a member from the view (cleanup of long-suspected members)."""
+        if name != self.owner:
+            self._members.pop(name, None)
+
+    def touch_self(self, now: float) -> None:
+        """Refresh the owner's own entry (done every gossip round)."""
+        self._members[self.owner].last_heard = now
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def __contains__(self, name: str) -> bool:
+        return name in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def members(self) -> List[str]:
+        """Every member currently in the view (including the owner)."""
+        return sorted(self._members)
+
+    def info(self, name: str) -> Optional[MemberInfo]:
+        """The stored record for one member."""
+        return self._members.get(name)
+
+    def last_heard(self, name: str) -> Optional[float]:
+        """Timestamp of the most recent news about a member."""
+        info = self._members.get(name)
+        return None if info is None else info.last_heard
+
+    def alive_members(self, now: float, failure_timeout: float) -> List[str]:
+        """Members whose entries are fresh enough to be considered alive."""
+        return sorted(
+            name
+            for name, info in self._members.items()
+            if (now - info.last_heard) <= failure_timeout
+        )
+
+    def suspected_members(self, now: float, failure_timeout: float) -> List[str]:
+        """Members whose entries have gone stale (suspected failed)."""
+        return sorted(
+            name
+            for name, info in self._members.items()
+            if name != self.owner and (now - info.last_heard) > failure_timeout
+        )
+
+    def gossip_servers(self) -> List[str]:
+        """Known gossip servers."""
+        return sorted(name for name, info in self._members.items() if info.is_gossip_server)
+
+    def digest(self) -> ViewDigest:
+        """Wire representation of the view."""
+        return tuple(
+            (info.name, info.last_heard, info.is_gossip_server)
+            for info in sorted(self._members.values(), key=lambda i: i.name)
+        )
+
+    def digest_wire_size(self) -> int:
+        """Estimated encoded size of the digest in bytes."""
+        return _DIGEST_HEADER_BYTES + _DIGEST_ENTRY_BYTES * len(self._members)
+
+
+class MembershipProtocol:
+    """The per-member protocol driver: periodic gossip, suspicion, cleanup.
+
+    The protocol object is transport-agnostic; the caller (a simulated entity
+    or a real node) is responsible for actually delivering the digests it
+    produces and feeding received digests back in.
+    """
+
+    def __init__(
+        self,
+        owner: str,
+        config: MembershipConfig,
+        *,
+        now: float = 0.0,
+        is_gossip_server: bool = False,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.owner = owner
+        self.config = config
+        self.view = MembershipView(owner, now=now, is_gossip_server=is_gossip_server)
+        self.rng = rng if rng is not None else random.Random(0)
+        #: Members removed after the cleanup timeout (for tracing/tests).
+        self.removed: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    # Periodic behaviour
+    # ------------------------------------------------------------------ #
+    def gossip_targets(self, now: float) -> List[str]:
+        """Choose the peers to push the view to in this round."""
+        alive = [
+            name
+            for name in self.view.alive_members(now, self.config.failure_timeout)
+            if name != self.owner
+        ]
+        if not alive:
+            return []
+        count = min(self.config.gossip_fanout, len(alive))
+        return self.rng.sample(alive, count)
+
+    def make_digest(self, now: float) -> ViewDigest:
+        """Refresh the self entry and produce the digest to send."""
+        self.view.touch_self(now)
+        return self.view.digest()
+
+    def run_cleanup(self, now: float) -> List[str]:
+        """Remove members suspected for longer than the cleanup timeout."""
+        removed = []
+        for name in list(self.view.members()):
+            if name == self.owner:
+                continue
+            last = self.view.last_heard(name)
+            if last is not None and (now - last) > self.config.cleanup_timeout:
+                self.view.remove(name)
+                removed.append(name)
+        self.removed.extend(removed)
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Event handlers
+    # ------------------------------------------------------------------ #
+    def on_digest(self, sender: str, digest: ViewDigest, now: float) -> List[str]:
+        """Handle a received view digest; returns newly discovered members."""
+        self.view.heard_from(sender, now)
+        return self.view.merge_digest(digest, now)
+
+    def on_join_announcement(self, name: str, now: float) -> bool:
+        """Handle a join announcement (new member contacting a gossip server)."""
+        return self.view.heard_from(name, now)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def alive_members(self, now: float) -> List[str]:
+        """Members currently believed alive."""
+        return self.view.alive_members(now, self.config.failure_timeout)
+
+    def suspected_members(self, now: float) -> List[str]:
+        """Members currently suspected failed."""
+        return self.view.suspected_members(now, self.config.failure_timeout)

@@ -1,0 +1,142 @@
+"""Rumor mongering: the epidemic dissemination primitive.
+
+Both the membership protocol and the fault-tolerance mechanism spread
+information epidemically (Section 5.1): "when a site receives a new update
+(rumor), it becomes infectious and is willing to share — it repeatedly chooses
+another member, to which it sends the rumor".  The variant analysed by Demers
+et al. and used here stops spreading a rumor after it has been pushed to
+members that already knew it a configurable number of times (the classic
+"feedback + counter" rumor-mongering), which bounds traffic while still
+reaching every member with high probability.
+
+:class:`RumorMonger` is transport-agnostic: callers ask it which rumors to
+send to a chosen peer and feed back what the peer already knew.  The simulated
+entities and the membership protocol build on it; the fault-tolerance work
+reports use the same pattern but with their own payload handling
+(:mod:`repro.core.work_report`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Rumor", "RumorMonger"]
+
+
+@dataclass
+class Rumor:
+    """A piece of information being spread epidemically.
+
+    ``hot_count`` is the remaining number of "unproductive" pushes (pushes to
+    peers that already knew the rumor) before this process stops spreading it.
+    """
+
+    rumor_id: Hashable
+    payload: Any
+    hot_count: int
+    received_at: float = 0.0
+
+    @property
+    def is_hot(self) -> bool:
+        """True while the local process still actively spreads the rumor."""
+        return self.hot_count > 0
+
+
+class RumorMonger:
+    """Per-process rumor store implementing counter-based rumor mongering.
+
+    Parameters
+    ----------
+    stop_count:
+        How many times a rumor may be pushed to an already-informed peer
+        before it goes cold locally (the "k" of the Demers et al. analysis).
+    fanout:
+        How many peers are contacted per gossip round.
+    rng:
+        Random stream for peer selection (seeded by the simulator).
+    """
+
+    def __init__(
+        self,
+        *,
+        stop_count: int = 2,
+        fanout: int = 1,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if stop_count < 1:
+            raise ValueError("stop_count must be at least 1")
+        if fanout < 1:
+            raise ValueError("fanout must be at least 1")
+        self.stop_count = stop_count
+        self.fanout = fanout
+        self.rng = rng if rng is not None else random.Random(0)
+        self._rumors: Dict[Hashable, Rumor] = {}
+        #: Number of rumors ever learned (metrics).
+        self.rumors_learned = 0
+
+    # ------------------------------------------------------------------ #
+    # Local knowledge
+    # ------------------------------------------------------------------ #
+    def knows(self, rumor_id: Hashable) -> bool:
+        """True when this process already holds the rumor."""
+        return rumor_id in self._rumors
+
+    def get(self, rumor_id: Hashable) -> Optional[Rumor]:
+        """Return the local copy of a rumor, if any."""
+        return self._rumors.get(rumor_id)
+
+    def rumors(self) -> List[Rumor]:
+        """All locally known rumors."""
+        return list(self._rumors.values())
+
+    def hot_rumors(self) -> List[Rumor]:
+        """Rumors this process is still actively spreading."""
+        return [r for r in self._rumors.values() if r.is_hot]
+
+    # ------------------------------------------------------------------ #
+    # Receiving
+    # ------------------------------------------------------------------ #
+    def learn(self, rumor_id: Hashable, payload: Any, *, now: float = 0.0) -> bool:
+        """Record a rumor received from a peer (or originated locally).
+
+        Returns ``True`` when the rumor was new to this process.
+        """
+        if rumor_id in self._rumors:
+            return False
+        self._rumors[rumor_id] = Rumor(
+            rumor_id=rumor_id, payload=payload, hot_count=self.stop_count, received_at=now
+        )
+        self.rumors_learned += 1
+        return True
+
+    def feedback(self, rumor_id: Hashable, *, peer_already_knew: bool) -> None:
+        """Update hotness after pushing a rumor to a peer.
+
+        Counter-based stopping: only unproductive pushes (the peer already
+        knew the rumor) consume hotness.
+        """
+        rumor = self._rumors.get(rumor_id)
+        if rumor is None or not peer_already_knew:
+            return
+        rumor.hot_count = max(0, rumor.hot_count - 1)
+
+    # ------------------------------------------------------------------ #
+    # Sending
+    # ------------------------------------------------------------------ #
+    def choose_peers(self, members: Sequence[str], *, exclude: Optional[str] = None) -> List[str]:
+        """Pick up to ``fanout`` random distinct peers from ``members``."""
+        candidates = [m for m in members if m != exclude]
+        if not candidates:
+            return []
+        count = min(self.fanout, len(candidates))
+        return self.rng.sample(candidates, count)
+
+    def outgoing(self) -> List[Tuple[Hashable, Any]]:
+        """The (id, payload) pairs this process would push in a gossip round."""
+        return [(r.rumor_id, r.payload) for r in self.hot_rumors()]
+
+    def coverage(self, rumor_id: Hashable) -> bool:
+        """Alias of :meth:`knows`, named for the dissemination tests."""
+        return self.knows(rumor_id)

@@ -1,0 +1,28 @@
+"""Real (multiprocessing) execution backend.
+
+Runs the same core algorithm objects used by the simulator on real operating
+system processes connected by pickled messages over ``multiprocessing``
+pipes.  Small-scale by design: it demonstrates that the mechanism is not an
+artefact of the simulator and lets the test-suite kill real processes, while
+the quantitative evaluation stays on the simulator as in the paper.
+
+* :mod:`repro.realexec.transport` — the pipe router;
+* :mod:`repro.realexec.node` — the per-process worker loop;
+* :mod:`repro.realexec.driver` — the local cluster driver with fault
+  injection.
+"""
+
+from .driver import LocalCluster, LocalClusterResult, run_local_cluster
+from .node import RealWorkerConfig, WorkerOutcome, worker_main
+from .transport import Envelope, PipeRouter
+
+__all__ = [
+    "Envelope",
+    "PipeRouter",
+    "RealWorkerConfig",
+    "WorkerOutcome",
+    "worker_main",
+    "LocalCluster",
+    "LocalClusterResult",
+    "run_local_cluster",
+]

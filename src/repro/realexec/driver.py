@@ -1,0 +1,186 @@
+"""Driver for small real (multiprocessing) runs of the algorithm.
+
+:class:`LocalCluster` spawns one OS process per worker, wires them through a
+:class:`~repro.realexec.transport.PipeRouter`, optionally kills a subset of
+them mid-run (real fault injection), collects each survivor's
+:class:`~repro.realexec.node.WorkerOutcome` and checks that the surviving
+workers agree on the optimum.  It is intentionally small-scale — the paper's
+performance evaluation belongs to the simulator — but it closes the loop on
+"the same algorithm objects run outside the simulator".
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..bnb.basic_tree import BasicTree
+from .node import RealWorkerConfig, WorkerOutcome, worker_main
+from .transport import Envelope, PipeRouter
+
+__all__ = ["LocalClusterResult", "LocalCluster", "run_local_cluster"]
+
+
+@dataclass
+class LocalClusterResult:
+    """Result of one real multiprocessing run."""
+
+    n_workers: int
+    outcomes: Dict[str, WorkerOutcome] = field(default_factory=dict)
+    killed: List[str] = field(default_factory=list)
+    wall_time: float = 0.0
+    reference_optimum: Optional[float] = None
+
+    @property
+    def surviving_terminated(self) -> bool:
+        """True when every surviving worker detected termination."""
+        survivors = [o for name, o in self.outcomes.items() if name not in self.killed]
+        return bool(survivors) and all(o.terminated for o in survivors)
+
+    @property
+    def best_value(self) -> Optional[float]:
+        """Best value reported by any surviving worker."""
+        values = [
+            o.best_value
+            for name, o in self.outcomes.items()
+            if name not in self.killed and o.best_value is not None
+        ]
+        if not values:
+            return None
+        return min(values) if self._minimize else max(values)
+
+    # Set by the driver so best_value knows the optimisation sense.
+    _minimize: bool = True
+
+    @property
+    def solved_correctly(self) -> Optional[bool]:
+        """True when the surviving workers found the reference optimum."""
+        if self.reference_optimum is None or self.best_value is None:
+            return None
+        return abs(self.best_value - self.reference_optimum) <= 1e-9 * max(
+            1.0, abs(self.reference_optimum)
+        )
+
+
+class LocalCluster:
+    """Spawns and supervises a small cluster of real worker processes."""
+
+    def __init__(
+        self,
+        tree: BasicTree,
+        n_workers: int,
+        *,
+        seed: int = 0,
+        node_sleep: float = 0.0,
+        max_seconds: float = 30.0,
+        prune: bool = True,
+        report_threshold: int = 5,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        self.tree = tree
+        self.n_workers = n_workers
+        self.seed = seed
+        self.node_sleep = node_sleep
+        self.max_seconds = max_seconds
+        self.prune = prune
+        self.report_threshold = report_threshold
+        self.names = [f"rworker-{i:02d}" for i in range(n_workers)]
+
+    def run(self, *, kill: Sequence[str] = (), kill_after: float = 0.5) -> LocalClusterResult:
+        """Run the cluster, optionally killing the named workers mid-run."""
+        ctx = mp.get_context("spawn" if mp.get_start_method(allow_none=True) is None else None) \
+            if False else mp.get_context()
+        router = PipeRouter()
+        driver_end = router.add_worker("__driver__")
+
+        tree_data = self.tree.to_dict()
+        processes: Dict[str, mp.Process] = {}
+        for index, name in enumerate(self.names):
+            child_end = router.add_worker(name)
+            config = RealWorkerConfig(
+                name=name,
+                members=tuple(self.names),
+                tree_data=tree_data,
+                has_root=(index == 0),
+                seed=self.seed + index,
+                node_sleep=self.node_sleep,
+                max_seconds=self.max_seconds,
+                prune=self.prune,
+                report_threshold=self.report_threshold,
+            )
+            process = ctx.Process(target=worker_main, args=(config, child_end), daemon=True)
+            processes[name] = process
+
+        router.start()
+        start = time.monotonic()
+        for process in processes.values():
+            process.start()
+
+        result = LocalClusterResult(
+            n_workers=self.n_workers,
+            reference_optimum=self.tree.optimal_value(),
+        )
+        result._minimize = self.tree.minimize
+
+        killed: List[str] = []
+        deadline = start + self.max_seconds + 5.0
+        kill_at = start + kill_after
+
+        try:
+            while time.monotonic() < deadline:
+                if kill and time.monotonic() >= kill_at:
+                    for name in kill:
+                        process = processes.get(name)
+                        if process is not None and process.is_alive():
+                            process.terminate()
+                            killed.append(name)
+                    kill = ()
+                while driver_end.poll(0.05):
+                    try:
+                        envelope = driver_end.recv()
+                    except (EOFError, OSError):
+                        break
+                    if isinstance(envelope, Envelope) and isinstance(envelope.payload, WorkerOutcome):
+                        result.outcomes[envelope.payload.name] = envelope.payload
+                expected = {n for n in self.names if n not in killed}
+                if expected.issubset(result.outcomes.keys()):
+                    break
+                if all(not p.is_alive() for p in processes.values()):
+                    break
+        finally:
+            for process in processes.values():
+                if process.is_alive():
+                    process.terminate()
+            for process in processes.values():
+                process.join(timeout=2.0)
+            router.stop()
+
+        result.killed = killed
+        result.wall_time = time.monotonic() - start
+        return result
+
+
+def run_local_cluster(
+    tree: BasicTree,
+    n_workers: int,
+    *,
+    kill: Sequence[str] = (),
+    kill_after: float = 0.5,
+    seed: int = 0,
+    node_sleep: float = 0.0,
+    max_seconds: float = 30.0,
+    prune: bool = True,
+) -> LocalClusterResult:
+    """One-call helper: build a :class:`LocalCluster` and run it."""
+    cluster = LocalCluster(
+        tree,
+        n_workers,
+        seed=seed,
+        node_sleep=node_sleep,
+        max_seconds=max_seconds,
+        prune=prune,
+    )
+    return cluster.run(kill=kill, kill_after=kill_after)

@@ -1,0 +1,237 @@
+"""A real worker process running the fault-tolerant algorithm.
+
+The worker reuses the exact core objects the simulator uses — the tree
+encoding, :class:`~repro.core.completion.CompletionTracker`, the recovery
+policy and the work-report payloads — but drives them with a plain loop on a
+real OS process, receiving messages over a ``multiprocessing`` pipe.  Node
+"cost" is not simulated: the process simply does the Python work of expanding
+the replayed tree node (an optional ``time.sleep`` can emulate heavier nodes).
+
+The protocol mirrors :mod:`repro.distributed.worker` in miniature; it trades
+the detailed time accounting of the simulator for the ability to kill real
+processes in the fault-injection tests.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..bnb.basic_tree import BasicTree
+from ..bnb.pool import SelectionRule, SubproblemPool
+from ..bnb.sequential import NodeExpander
+from ..bnb.tree_problem import TreeReplayProblem
+from ..core.completion import CompletionTracker
+from ..core.recovery import RecoveryPolicy
+from ..core.termination import make_root_report
+from ..core.work_report import BestSolution
+from ..distributed.messages import (
+    TableGossipMsg,
+    WorkDenied,
+    WorkGrant,
+    WorkReportMsg,
+    WorkRequest,
+)
+from .transport import Envelope
+
+__all__ = ["RealWorkerConfig", "WorkerOutcome", "worker_main"]
+
+
+@dataclass(frozen=True)
+class RealWorkerConfig:
+    """Configuration shipped (pickled) to every real worker process."""
+
+    name: str
+    members: tuple
+    tree_data: dict
+    has_root: bool = False
+    report_threshold: int = 5
+    report_fanout: int = 2
+    recovery_failed_threshold: int = 3
+    poll_timeout: float = 0.02
+    node_sleep: float = 0.0
+    seed: int = 0
+    max_seconds: float = 30.0
+    prune: bool = True
+
+
+@dataclass(frozen=True)
+class WorkerOutcome:
+    """What a real worker reports back to the driver when it finishes."""
+
+    name: str
+    terminated: bool
+    best_value: Optional[float]
+    nodes_expanded: int
+    reports_sent: int
+    recoveries: int
+
+
+def worker_main(config: RealWorkerConfig, connection) -> None:
+    """Entry point executed in the child process.
+
+    The loop: drain the pipe, merge reports, answer work requests, expand one
+    node, occasionally emit work reports, recover starved work from the
+    complement, and stop when the completed table contracts to the root code
+    (sending the final root report first).  The final
+    :class:`WorkerOutcome` is sent to the driver over the same pipe.
+    """
+    tree = BasicTree.from_dict(config.tree_data)
+    problem = TreeReplayProblem(tree, prune=config.prune)
+    expander = NodeExpander(problem)
+    pool: SubproblemPool = SubproblemPool(SelectionRule.DEPTH_FIRST, minimize=problem.minimize)
+    tracker = CompletionTracker(config.name, report_threshold=config.report_threshold)
+    recovery = RecoveryPolicy(failed_request_threshold=config.recovery_failed_threshold)
+    rng = random.Random(config.seed)
+    peers = [m for m in config.members if m != config.name]
+    incumbent: Optional[float] = None
+    reports_sent = 0
+    deadline = time.monotonic() + config.max_seconds
+    outstanding_request = False
+    root_broadcast_sent = False
+
+    if config.has_root:
+        pool.push(problem.root_subproblem(), bound=problem.bound(problem.root_state()))
+
+    def send(destination: str, payload) -> None:
+        try:
+            connection.send(Envelope(config.name, destination, payload))
+        except (BrokenPipeError, OSError):  # pragma: no cover - driver gone
+            pass
+
+    def my_best() -> BestSolution:
+        return BestSolution(value=incumbent, origin=config.name)
+
+    def absorb_best(payload) -> None:
+        nonlocal incumbent
+        best = getattr(payload, "best", None)
+        if isinstance(best, BestSolution) and best.value is not None:
+            if problem.is_improvement(best.value, incumbent):
+                incumbent = best.value
+
+    def flush_report(force: bool = False) -> None:
+        nonlocal reports_sent
+        if tracker.pending_report_size == 0:
+            return
+        if not force and tracker.pending_report_size < config.report_threshold:
+            return
+        report = tracker.build_report(best=my_best())
+        if report.is_empty:
+            return
+        for target in rng.sample(peers, min(config.report_fanout, len(peers))) if peers else []:
+            send(target, WorkReportMsg(report))
+        reports_sent += 1
+
+    terminated = False
+    while not terminated and time.monotonic() < deadline:
+        # ------------------------------------------------------------ drain
+        while connection.poll(0 if pool else config.poll_timeout):
+            try:
+                envelope = connection.recv()
+            except (EOFError, OSError):
+                terminated = True
+                break
+            payload = envelope.payload
+            absorb_best(payload)
+            if isinstance(payload, WorkRequest):
+                if len(pool) > 1:
+                    donated = pool.take_for_donation(max_count=2, keep_at_least=1)
+                    send(
+                        payload.requester,
+                        WorkGrant(
+                            donor=config.name,
+                            codes=tuple(s.code for s in donated),
+                            best=my_best(),
+                        ),
+                    )
+                else:
+                    send(payload.requester, WorkDenied(donor=config.name, best=my_best()))
+            elif isinstance(payload, WorkGrant):
+                outstanding_request = False
+                got_any = False
+                for code in payload.codes:
+                    if tracker.table.covers(code):
+                        continue
+                    sub = problem.rebuild_subproblem(code)
+                    if sub is None:
+                        tracker.record_completed(code)
+                    else:
+                        pool.push(sub, bound=problem.bound(sub.state))
+                        got_any = True
+                if got_any:
+                    recovery.note_work_obtained()
+                else:
+                    recovery.note_request_failed(time.monotonic())
+            elif isinstance(payload, WorkDenied):
+                outstanding_request = False
+                recovery.note_request_failed(time.monotonic())
+            elif isinstance(payload, (WorkReportMsg, TableGossipMsg)):
+                report = (
+                    payload.report
+                    if isinstance(payload, WorkReportMsg)
+                    else payload.snapshot.as_report()
+                )
+                tracker.merge_report(report)
+
+        if tracker.is_tree_complete():
+            terminated = True
+            break
+
+        # ------------------------------------------------------------ work
+        sub = None
+        while pool:
+            candidate = pool.pop()
+            if not tracker.table.covers(candidate.code):
+                sub = candidate
+                break
+        if sub is None:
+            flush_report(force=True)
+            if peers and not outstanding_request:
+                send(rng.choice(peers), WorkRequest(requester=config.name, best=my_best()))
+                outstanding_request = True
+            else:
+                recovery.note_request_failed(time.monotonic())
+                outstanding_request = False
+            decision = recovery.evaluate(tracker, time.monotonic())
+            if decision.code is not None:
+                recovery.note_recovery_started(decision.code)
+                rebuilt = problem.rebuild_subproblem(decision.code)
+                if rebuilt is None:
+                    tracker.record_completed(decision.code)
+                else:
+                    pool.push(rebuilt, bound=problem.bound(rebuilt.state))
+            continue
+
+        outcome = expander.expand(sub, incumbent)
+        if config.node_sleep > 0:
+            time.sleep(config.node_sleep)
+        if outcome.incumbent_value is not None:
+            incumbent = outcome.incumbent_value
+        for code in outcome.completed:
+            tracker.record_completed(code)
+        for child, bound in outcome.children:
+            pool.push(child, bound=bound)
+        flush_report()
+
+    # ------------------------------------------------------------ shutdown
+    if tracker.is_tree_complete() and not root_broadcast_sent:
+        root_report = make_root_report(config.name, best=my_best())
+        for target in peers:
+            send(target, WorkReportMsg(root_report))
+        root_broadcast_sent = True
+
+    outcome_message = WorkerOutcome(
+        name=config.name,
+        terminated=tracker.is_tree_complete(),
+        best_value=incumbent,
+        nodes_expanded=expander.nodes_expanded,
+        reports_sent=reports_sent,
+        recoveries=recovery.stats.activations,
+    )
+    send("__driver__", outcome_message)
+    try:
+        connection.close()
+    except OSError:  # pragma: no cover
+        pass

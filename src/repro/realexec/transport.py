@@ -1,0 +1,113 @@
+"""Pickle-over-multiprocessing transport for the real execution backend.
+
+The paper evaluates its algorithm purely in simulation; this backend runs the
+*same* core objects (:class:`~repro.core.completion.CompletionTracker`,
+:class:`~repro.core.recovery.RecoveryPolicy`, the tree encoding, the work
+messages) on real operating-system processes connected by pickled messages
+over ``multiprocessing`` pipes.  It exists to demonstrate that the algorithm
+is not tied to the simulator and to let the fault-injection tests kill actual
+processes.
+
+The transport is deliberately simple: a star of duplex pipes terminated at a
+small router thread in the parent process.  Messages are addressed by worker
+name; the router forwards them and never retries — an unreliable, asynchronous
+channel, like the paper assumes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Envelope", "PipeRouter"]
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One routed message: sender, destination and an arbitrary payload."""
+
+    sender: str
+    destination: str
+    payload: Any
+
+
+class PipeRouter:
+    """Routes envelopes between worker processes through the parent.
+
+    The router owns one duplex pipe per worker.  A background thread in the
+    parent process polls the worker ends and forwards envelopes to their
+    destination.  Messages to unknown or finished workers are dropped
+    silently, matching the lossy network model of the paper.
+    """
+
+    def __init__(self) -> None:
+        self._parent_ends: Dict[str, mp.connection.Connection] = {}
+        self._child_ends: Dict[str, mp.connection.Connection] = {}
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        #: Count of forwarded messages, for tests and reporting.
+        self.forwarded = 0
+        #: Count of dropped messages (unknown/closed destination).
+        self.dropped = 0
+
+    def add_worker(self, name: str) -> mp.connection.Connection:
+        """Create the pipe pair for a worker; returns the child end."""
+        if name in self._parent_ends:
+            raise ValueError(f"duplicate worker name: {name!r}")
+        parent_end, child_end = mp.Pipe(duplex=True)
+        self._parent_ends[name] = parent_end
+        self._child_ends[name] = child_end
+        return child_end
+
+    def child_end(self, name: str) -> mp.connection.Connection:
+        """The connection a worker process should use."""
+        return self._child_ends[name]
+
+    def start(self) -> None:
+        """Start the forwarding thread."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run, name="pipe-router", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the forwarding thread and close the parent pipe ends."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        for conn in self._parent_ends.values():
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - platform dependent
+                pass
+
+    def _run(self) -> None:
+        import multiprocessing.connection as mpc
+
+        while not self._stop.is_set():
+            ends = list(self._parent_ends.values())
+            if not ends:
+                self._stop.wait(0.05)
+                continue
+            ready = mpc.wait(ends, timeout=0.05)
+            for conn in ready:
+                try:
+                    envelope = conn.recv()
+                except (EOFError, OSError):
+                    continue
+                if not isinstance(envelope, Envelope):
+                    self.dropped += 1
+                    continue
+                destination = self._parent_ends.get(envelope.destination)
+                if destination is None:
+                    self.dropped += 1
+                    continue
+                try:
+                    destination.send(envelope)
+                    self.forwarded += 1
+                except (BrokenPipeError, OSError):
+                    self.dropped += 1

@@ -1,0 +1,181 @@
+"""Discrete-event simulation engine.
+
+The paper evaluates its algorithm with Parsec, a C-based discrete-event
+simulation language in which "processes are modeled by objects; interactions
+among objects are modeled by time stamped message exchanges".  This module is
+the Python equivalent: a deterministic event heap with a logical clock,
+cancellable events and stop conditions.  Entities (logical processes) live in
+:mod:`repro.simulation.entity`; the network latency model in
+:mod:`repro.simulation.network` turns message sends into future delivery
+events on this engine.
+
+Determinism
+-----------
+Runs must be exactly reproducible for a given configuration and seed, so the
+engine breaks ties between simultaneous events by an insertion sequence
+number, never by object identity or hash order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["EventHandle", "SimulationEngine", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid engine usage (scheduling in the past, re-running…)."""
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`SimulationEngine.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Cancel the event if it has not fired yet (idempotent)."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """True when the event was cancelled before firing."""
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        """Simulated time at which the event is (was) scheduled."""
+        return self._event.time
+
+    @property
+    def label(self) -> str:
+        """Optional diagnostic label."""
+        return self._event.label
+
+
+class SimulationEngine:
+    """A minimal, deterministic discrete-event simulator.
+
+    Typical usage::
+
+        engine = SimulationEngine()
+        engine.schedule(1.5, lambda: print("fires at t=1.5"))
+        engine.run()
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._running = False
+        self._stop_requested = False
+        #: Total events executed (not counting cancelled ones).
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------ #
+    # Clock
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+    def schedule(self, delay: float, callback: Callable[[], None], *, label: str = "") -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, label=label)
+
+    def schedule_at(self, time: float, callback: Callable[[], None], *, label: str = "") -> EventHandle:
+        """Schedule ``callback`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time}, now={self._now})"
+            )
+        event = _ScheduledEvent(time=time, sequence=next(self._sequence), callback=callback, label=label)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def pending_events(self) -> int:
+        """Number of events still in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        *,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> float:
+        """Process events until the heap drains or a stop condition triggers.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time (events at exactly
+            ``until`` are still executed).
+        max_events:
+            Safety valve against runaway simulations.
+        stop_when:
+            Predicate evaluated after every event; the run stops as soon as it
+            returns ``True``.
+
+        Returns the simulated time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        self._running = True
+        self._stop_requested = False
+        executed = 0
+        try:
+            while self._heap:
+                if self._stop_requested:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                event = heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                if until is not None and event.time > until:
+                    # Put it back: the caller may resume the run later.
+                    heapq.heappush(self._heap, event)
+                    self._now = until
+                    break
+                self._now = event.time
+                event.callback()
+                executed += 1
+                self.events_processed += 1
+                if stop_when is not None and stop_when():
+                    break
+        finally:
+            self._running = False
+        return self._now
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` to stop after the current event."""
+        self._stop_requested = True
+
+    def drain_cancelled(self) -> None:
+        """Drop cancelled events from the heap (memory hygiene for long runs)."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)

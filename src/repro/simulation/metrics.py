@@ -1,0 +1,165 @@
+"""Per-process time and storage accounting.
+
+The paper's evaluation decomposes each processor's wall-clock into five
+buckets (Figure 3): branch-and-bound time, communication time, list
+contraction time, load-balancing time and idle time; and additionally reports
+storage space (total and redundant) and communication volume per processor per
+hour (Table 1).  :class:`TimeAccount` and :class:`MetricsCollector` implement
+exactly this bookkeeping for the simulated workers, so the benchmark harness
+can print the same rows the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["TimeAccount", "StorageAccount", "MetricsCollector", "TIME_CATEGORIES"]
+
+#: The five execution-time buckets of Figure 3.
+TIME_CATEGORIES = ("bb", "communication", "contraction", "load_balancing", "idle")
+
+
+@dataclass
+class TimeAccount:
+    """Time spent by one process, split into the paper's five categories."""
+
+    bb: float = 0.0
+    communication: float = 0.0
+    contraction: float = 0.0
+    load_balancing: float = 0.0
+    idle: float = 0.0
+
+    def add(self, category: str, amount: float) -> None:
+        """Charge ``amount`` seconds to ``category``."""
+        if amount < 0:
+            raise ValueError("cannot charge negative time")
+        if category not in TIME_CATEGORIES:
+            raise ValueError(f"unknown time category: {category!r}")
+        setattr(self, category, getattr(self, category) + amount)
+
+    def total(self) -> float:
+        """Total accounted time."""
+        return self.bb + self.communication + self.contraction + self.load_balancing + self.idle
+
+    def busy(self) -> float:
+        """Accounted time excluding idle."""
+        return self.total() - self.idle
+
+    def fractions(self) -> Dict[str, float]:
+        """Each category as a fraction of the total (0 when nothing accounted)."""
+        total = self.total()
+        if total <= 0:
+            return {category: 0.0 for category in TIME_CATEGORIES}
+        return {category: getattr(self, category) / total for category in TIME_CATEGORIES}
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dictionary view."""
+        return {category: getattr(self, category) for category in TIME_CATEGORIES}
+
+
+@dataclass
+class StorageAccount:
+    """Storage used by one process for completion information.
+
+    ``current_bytes`` tracks the live footprint; ``peak_bytes`` its high-water
+    mark; ``redundant_bytes`` estimates the portion of received completion
+    information that was already known (the paper's "Redundant" storage
+    column measures replicated information).
+    """
+
+    current_bytes: int = 0
+    peak_bytes: int = 0
+    redundant_bytes: int = 0
+
+    def update(self, current: int, redundant: Optional[int] = None) -> None:
+        """Record a new live footprint.
+
+        ``redundant`` is the replicated (learned-from-others) portion of the
+        footprint; the value captured at the peak is what the Table 1
+        "Redundant" column reports.
+        """
+        self.current_bytes = current
+        if current > self.peak_bytes:
+            self.peak_bytes = current
+            if redundant is not None:
+                self.redundant_bytes = max(0, redundant)
+
+    def add_redundant(self, amount: int) -> None:
+        """Record receipt of already-known completion information."""
+        self.redundant_bytes += max(0, amount)
+
+
+class MetricsCollector:
+    """Collects per-process accounts and produces system-wide aggregates."""
+
+    def __init__(self) -> None:
+        self.time: Dict[str, TimeAccount] = {}
+        self.storage: Dict[str, StorageAccount] = {}
+        self.counters: Dict[str, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration and charging
+    # ------------------------------------------------------------------ #
+    def register(self, name: str) -> None:
+        """Create accounts for a process (idempotent)."""
+        self.time.setdefault(name, TimeAccount())
+        self.storage.setdefault(name, StorageAccount())
+        self.counters.setdefault(name, {})
+
+    def charge(self, name: str, category: str, amount: float) -> None:
+        """Charge time to a process's account."""
+        self.register(name)
+        self.time[name].add(category, amount)
+
+    def count(self, name: str, counter: str, increment: int = 1) -> None:
+        """Increment a named per-process counter."""
+        self.register(name)
+        self.counters[name][counter] = self.counters[name].get(counter, 0) + increment
+
+    def update_storage(self, name: str, current_bytes: int, redundant_bytes: Optional[int] = None) -> None:
+        """Record a process's live completion-state footprint."""
+        self.register(name)
+        self.storage[name].update(current_bytes, redundant_bytes)
+
+    def add_redundant_storage(self, name: str, amount: int) -> None:
+        """Record redundant (already-known) completion information received."""
+        self.register(name)
+        self.storage[name].add_redundant(amount)
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+    def total_time(self, category: str) -> float:
+        """Sum of one category across all processes."""
+        return sum(getattr(account, category) for account in self.time.values())
+
+    def system_fractions(self) -> Dict[str, float]:
+        """System-wide fraction of each category (the Figure 3 stacking)."""
+        total = sum(account.total() for account in self.time.values())
+        if total <= 0:
+            return {category: 0.0 for category in TIME_CATEGORIES}
+        return {category: self.total_time(category) / total for category in TIME_CATEGORIES}
+
+    def total_storage_bytes(self) -> int:
+        """Peak completion-state storage summed over all processes (Table 1 'Total')."""
+        return sum(account.peak_bytes for account in self.storage.values())
+
+    def redundant_storage_bytes(self) -> int:
+        """Redundant completion information received, summed (Table 1 'Redundant')."""
+        return sum(account.redundant_bytes for account in self.storage.values())
+
+    def counter_total(self, counter: str) -> int:
+        """Sum of a named counter across processes."""
+        return sum(counters.get(counter, 0) for counters in self.counters.values())
+
+    def per_process_table(self) -> List[Dict[str, float]]:
+        """One row per process with its time split and storage (for reports)."""
+        rows = []
+        for name in sorted(self.time):
+            row: Dict[str, float] = {"process": name}
+            row.update(self.time[name].as_dict())
+            row["storage_peak_bytes"] = float(self.storage[name].peak_bytes)
+            row["storage_redundant_bytes"] = float(self.storage[name].redundant_bytes)
+            rows.append(row)
+        return rows

@@ -1,0 +1,154 @@
+"""Execution timeline tracing — the Jumpshot substitute.
+
+The paper visualises executions with Jumpshot over MPE ``clog`` logs
+(Figures 5 and 6): a Gantt-style timeline showing, for every processor, which
+state it is in over time, which makes it obvious that after two of three
+processors crash the survivor picks up the lost work and terminates.
+
+:class:`TimelineTrace` records the same information as state *intervals* per
+process (``working``, ``idle``, ``recovery``, ``crashed``…), can export them
+as rows (for the benchmark output and EXPERIMENTS.md) or a CSV file, and can
+render a coarse ASCII Gantt chart for terminal inspection — enough to
+reproduce what the two figures demonstrate without a GUI tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["StateInterval", "TimelineTrace"]
+
+
+@dataclass(frozen=True, slots=True)
+class StateInterval:
+    """One contiguous interval of a process being in one state."""
+
+    process: str
+    state: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval."""
+        return self.end - self.start
+
+
+class TimelineTrace:
+    """Per-process state timeline.
+
+    Producers call :meth:`set_state` whenever a process changes state and
+    :meth:`finish` once at the end of the run; the trace closes the last open
+    interval of every process automatically.
+    """
+
+    #: Single-character glyphs for the ASCII Gantt chart.
+    GLYPHS = {
+        "working": "#",
+        "idle": ".",
+        "recovery": "R",
+        "communication": "c",
+        "load_balancing": "l",
+        "contraction": "x",
+        "crashed": " ",
+        "terminated": "T",
+    }
+
+    def __init__(self) -> None:
+        self._intervals: List[StateInterval] = []
+        self._open: Dict[str, Tuple[str, float]] = {}
+        self._finished = False
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def set_state(self, process: str, state: str, now: float) -> None:
+        """Record that ``process`` enters ``state`` at time ``now``."""
+        if self._finished:
+            raise RuntimeError("cannot record on a finished trace")
+        open_entry = self._open.get(process)
+        if open_entry is not None:
+            old_state, start = open_entry
+            if old_state == state:
+                return  # no transition
+            if now > start:
+                self._intervals.append(StateInterval(process, old_state, start, now))
+        self._open[process] = (state, now)
+
+    def finish(self, now: float) -> None:
+        """Close every open interval at time ``now``."""
+        for process, (state, start) in self._open.items():
+            if now > start:
+                self._intervals.append(StateInterval(process, state, start, now))
+        self._open.clear()
+        self._finished = True
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def intervals(self, process: Optional[str] = None) -> List[StateInterval]:
+        """All intervals, optionally filtered to one process."""
+        if process is None:
+            return list(self._intervals)
+        return [i for i in self._intervals if i.process == process]
+
+    def processes(self) -> List[str]:
+        """Names of every process that appears in the trace."""
+        return sorted({i.process for i in self._intervals})
+
+    def state_durations(self, process: str) -> Dict[str, float]:
+        """Total time the process spent in each state."""
+        durations: Dict[str, float] = {}
+        for interval in self._intervals:
+            if interval.process == process:
+                durations[interval.state] = durations.get(interval.state, 0.0) + interval.duration
+        return durations
+
+    def end_time(self) -> float:
+        """Largest interval end in the trace (0 for an empty trace)."""
+        return max((i.end for i in self._intervals), default=0.0)
+
+    def state_at(self, process: str, time: float) -> Optional[str]:
+        """The state a process was in at a given time (``None`` if unknown)."""
+        for interval in self._intervals:
+            if interval.process == process and interval.start <= time < interval.end:
+                return interval.state
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+    def to_rows(self) -> List[Dict[str, object]]:
+        """List-of-dicts export (JSON/CSV friendly)."""
+        return [
+            {"process": i.process, "state": i.state, "start": i.start, "end": i.end}
+            for i in sorted(self._intervals, key=lambda x: (x.process, x.start))
+        ]
+
+    def to_csv(self) -> str:
+        """CSV text export."""
+        lines = ["process,state,start,end"]
+        for row in self.to_rows():
+            lines.append(f"{row['process']},{row['state']},{row['start']:.6f},{row['end']:.6f}")
+        return "\n".join(lines) + "\n"
+
+    def ascii_gantt(self, *, width: int = 80) -> str:
+        """Coarse ASCII rendering of the timeline (one row per process)."""
+        end = self.end_time()
+        if end <= 0 or width < 10:
+            return "(empty trace)"
+        lines = []
+        for process in self.processes():
+            cells = [" "] * width
+            for interval in self.intervals(process):
+                lo = int(interval.start / end * (width - 1))
+                hi = max(lo, int(interval.end / end * (width - 1)))
+                glyph = self.GLYPHS.get(interval.state, "?")
+                for col in range(lo, hi + 1):
+                    cells[col] = glyph
+            lines.append(f"{process:>12} |{''.join(cells)}|")
+        legend = "  ".join(f"{glyph}={state}" for state, glyph in self.GLYPHS.items() if glyph.strip())
+        lines.append(f"{'':>12}  t=0 {'-' * (width - 16)} t={end:.2f}s")
+        lines.append(f"{'':>12}  {legend}")
+        return "\n".join(lines)

@@ -1,0 +1,180 @@
+"""Tests for the concrete optimisation problems and the problem interface."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bnb.knapsack import KnapsackInstance, KnapsackProblem, random_knapsack
+from repro.bnb.maxsat import MaxSatInstance, MaxSatProblem, random_maxsat
+from repro.bnb.pool import SelectionRule
+from repro.bnb.problem import worse_than
+from repro.bnb.sequential import SequentialSolver
+from repro.bnb.set_cover import SetCoverInstance, SetCoverProblem, random_set_cover
+from repro.bnb.vertex_cover import VertexCoverInstance, VertexCoverProblem, random_vertex_cover
+
+
+class TestWorseThan:
+    def test_minimise(self):
+        assert worse_than(5.0, 5.0, minimize=True)
+        assert worse_than(6.0, 5.0, minimize=True)
+        assert not worse_than(4.0, 5.0, minimize=True)
+        assert not worse_than(4.0, None, minimize=True)
+
+    def test_maximise(self):
+        assert worse_than(5.0, 5.0, minimize=False)
+        assert worse_than(4.0, 5.0, minimize=False)
+        assert not worse_than(6.0, 5.0, minimize=False)
+
+
+class TestKnapsack:
+    def test_instance_validation(self):
+        with pytest.raises(ValueError):
+            KnapsackInstance(values=(1.0,), weights=(1.0, 2.0), capacity=3.0)
+        with pytest.raises(ValueError):
+            KnapsackInstance(values=(-1.0,), weights=(1.0,), capacity=3.0)
+        with pytest.raises(ValueError):
+            KnapsackInstance(values=(1.0,), weights=(1.0,), capacity=-1.0)
+
+    def test_bound_is_admissible_at_root(self):
+        problem = random_knapsack(8, seed=1)
+        root_bound = problem.bound(problem.root_state())
+        assert root_bound >= problem.solve_exact() - 1e-9
+
+    def test_bnb_matches_dynamic_programming(self):
+        for seed in range(5):
+            problem = random_knapsack(10, seed=seed)
+            result = SequentialSolver(problem).solve()
+            assert result.best_value == pytest.approx(problem.solve_exact(), abs=1e-6)
+
+    def test_rebuild_state_roundtrip(self):
+        problem = random_knapsack(6, seed=3)
+        result = SequentialSolver(problem).solve()
+        assert result.best_code is not None
+        state = problem.rebuild_state(result.best_code)
+        assert state is not None
+        assert problem.feasible_value(state) == pytest.approx(result.best_value)
+
+    def test_infeasible_branch_returns_none(self):
+        instance = KnapsackInstance(values=(10.0,), weights=(5.0,), capacity=1.0)
+        problem = KnapsackProblem(instance)
+        decision = problem.branching_decision(problem.root_state())
+        assert problem.apply_branch(problem.root_state(), decision.variable, 1) is None
+        assert problem.apply_branch(problem.root_state(), decision.variable, 0) is not None
+
+    def test_wrong_branch_variable_rejected(self):
+        problem = random_knapsack(4, seed=0)
+        with pytest.raises(ValueError):
+            problem.apply_branch(problem.root_state(), 999, 0)
+
+    def test_describe(self):
+        problem = random_knapsack(4, seed=0)
+        info = problem.describe()
+        assert info["sense"] == "max"
+        assert info["items"] == 4
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            random_knapsack(0)
+
+
+class TestVertexCover:
+    def test_instance_validation(self):
+        with pytest.raises(ValueError):
+            VertexCoverInstance(n_vertices=2, edges=((0, 0),), weights=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            VertexCoverInstance(n_vertices=2, edges=((0, 1),), weights=(1.0,))
+        with pytest.raises(ValueError):
+            VertexCoverInstance(n_vertices=2, edges=((0, 1),), weights=(1.0, -1.0))
+
+    def test_bnb_matches_enumeration(self):
+        for seed in range(4):
+            problem = random_vertex_cover(7, seed=seed, edge_probability=0.4)
+            result = SequentialSolver(problem).solve()
+            assert result.best_value == pytest.approx(problem.solve_exact(), abs=1e-9)
+
+    def test_feasible_value_requires_full_cover(self):
+        problem = random_vertex_cover(5, seed=2)
+        assert problem.feasible_value(problem.root_state()) is None
+        full = frozenset(range(5))
+        assert problem.feasible_value(full) == pytest.approx(
+            sum(problem.instance.weights)
+        )
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            random_vertex_cover(1)
+
+
+class TestSetCover:
+    def test_instance_validation(self):
+        with pytest.raises(ValueError):
+            SetCoverInstance(n_elements=2, sets=(frozenset({0}),), costs=(1.0,))
+        with pytest.raises(ValueError):
+            SetCoverInstance(
+                n_elements=1, sets=(frozenset({0}),), costs=(1.0, 2.0)
+            )
+
+    def test_bnb_matches_enumeration(self):
+        for seed in range(4):
+            problem = random_set_cover(6, 6, seed=seed)
+            result = SequentialSolver(problem).solve()
+            assert result.best_value == pytest.approx(problem.solve_exact(), abs=1e-9)
+
+    def test_bound_admissible_at_root(self):
+        problem = random_set_cover(6, 6, seed=1)
+        assert problem.bound(problem.root_state()) <= problem.solve_exact() + 1e-9
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            random_set_cover(0, 3)
+
+
+class TestMaxSat:
+    def test_instance_validation(self):
+        with pytest.raises(ValueError):
+            MaxSatInstance(n_variables=1, clauses=((),), weights=(1.0,))
+        with pytest.raises(ValueError):
+            MaxSatInstance(n_variables=1, clauses=(((5, True),),), weights=(1.0,))
+        with pytest.raises(ValueError):
+            MaxSatInstance(n_variables=1, clauses=(((0, True),),), weights=(1.0, 2.0))
+
+    def test_bnb_matches_enumeration(self):
+        for seed in range(4):
+            problem = random_maxsat(6, 10, seed=seed)
+            result = SequentialSolver(problem).solve()
+            assert result.best_value == pytest.approx(problem.solve_exact(), abs=1e-9)
+
+    def test_bound_is_upper_bound(self):
+        problem = random_maxsat(5, 8, seed=2)
+        assert problem.bound(problem.root_state()) >= problem.solve_exact() - 1e-9
+
+    def test_branching_assigns_every_variable(self):
+        problem = random_maxsat(3, 4, seed=0)
+        state = problem.root_state()
+        for _ in range(3):
+            decision = problem.branching_decision(state)
+            assert decision is not None
+            state = problem.apply_branch(state, decision.variable, 1)
+        assert problem.branching_decision(state) is None
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            random_maxsat(0, 1)
+
+
+class TestCrossProblemProperties:
+    @given(st.integers(min_value=2, max_value=9), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_knapsack_bnb_equals_dp(self, n_items, seed):
+        problem = random_knapsack(n_items, seed=seed)
+        result = SequentialSolver(problem).solve()
+        assert result.best_value == pytest.approx(problem.solve_exact(), abs=1e-6)
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_selection_rule_does_not_change_optimum(self, seed):
+        problem = random_knapsack(8, seed=seed)
+        values = set()
+        for rule in SelectionRule:
+            result = SequentialSolver(problem, rule=rule).solve()
+            values.add(round(result.best_value, 6))
+        assert len(values) == 1

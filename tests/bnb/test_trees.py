@@ -1,0 +1,236 @@
+"""Tests for basic trees, the recorder, random generation and replay."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bnb.basic_tree import BasicTree, BasicTreeNode, record_basic_tree
+from repro.bnb.cost_model import NodeTimeModel, assign_node_times, tree_time_summary
+from repro.bnb.knapsack import random_knapsack
+from repro.bnb.pool import SelectionRule
+from repro.bnb.random_tree import RandomTreeSpec, generate_random_tree, paper_workload
+from repro.bnb.sequential import SequentialSolver
+from repro.bnb.tree_problem import TreeReplayProblem
+from repro.core.encoding import ROOT
+
+
+def tiny_manual_tree():
+    """A hand-built 5-node tree: root branches on 0; left branches on 1."""
+    n0 = BasicTreeNode(0, ROOT, bound=1.0, time=0.1, branch_variable=0)
+    left = ROOT.child(0, 0)
+    right = ROOT.child(0, 1)
+    n1 = BasicTreeNode(1, left, bound=2.0, time=0.1, branch_variable=1)
+    n2 = BasicTreeNode(2, right, bound=3.0, time=0.1, feasible_value=4.0)
+    n3 = BasicTreeNode(3, left.child(1, 0), bound=2.5, time=0.1, feasible_value=2.5)
+    n4 = BasicTreeNode(4, left.child(1, 1), bound=5.0, time=0.1)
+    return BasicTree([n0, n1, n2, n3, n4], minimize=True, name="manual")
+
+
+class TestBasicTreeStructure:
+    def test_manual_tree_queries(self):
+        tree = tiny_manual_tree()
+        assert len(tree) == 5
+        assert tree.root.code == ROOT
+        assert tree.depth() == 2
+        assert len(tree.leaves()) == 3
+        assert len(tree.feasible_leaves()) == 2
+        assert tree.optimal_value() == pytest.approx(2.5)
+        assert tree.total_node_time() == pytest.approx(0.5)
+        assert tree.mean_node_time() == pytest.approx(0.1)
+        assert ROOT.child(0, 0) in tree
+        children = tree.children(ROOT)
+        assert {c.code for c in children} == {ROOT.child(0, 0), ROOT.child(0, 1)}
+
+    def test_missing_root_rejected(self):
+        node = BasicTreeNode(0, ROOT.child(0, 0), bound=1.0, time=0.1)
+        with pytest.raises(ValueError):
+            BasicTree([node])
+
+    def test_orphan_rejected(self):
+        nodes = [
+            BasicTreeNode(0, ROOT, bound=1.0, time=0.1, branch_variable=0),
+            BasicTreeNode(1, ROOT.child(0, 0), bound=1.0, time=0.1),
+            BasicTreeNode(2, ROOT.child(0, 1), bound=1.0, time=0.1),
+            BasicTreeNode(3, ROOT.child(5, 0).child(1, 0), bound=1.0, time=0.1),
+        ]
+        with pytest.raises(ValueError):
+            BasicTree(nodes)
+
+    def test_missing_child_rejected(self):
+        nodes = [
+            BasicTreeNode(0, ROOT, bound=1.0, time=0.1, branch_variable=0),
+            BasicTreeNode(1, ROOT.child(0, 0), bound=1.0, time=0.1),
+        ]
+        with pytest.raises(ValueError):
+            BasicTree(nodes)
+
+    def test_inconsistent_branch_variable_rejected(self):
+        nodes = [
+            BasicTreeNode(0, ROOT, bound=1.0, time=0.1, branch_variable=0),
+            BasicTreeNode(1, ROOT.child(1, 0), bound=1.0, time=0.1),
+            BasicTreeNode(2, ROOT.child(1, 1), bound=1.0, time=0.1),
+        ]
+        with pytest.raises(ValueError):
+            BasicTree(nodes)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            BasicTree([BasicTreeNode(0, ROOT, bound=1.0, time=-0.1)])
+
+    def test_duplicate_code_rejected(self):
+        with pytest.raises(ValueError):
+            BasicTree(
+                [
+                    BasicTreeNode(0, ROOT, bound=1.0, time=0.1),
+                    BasicTreeNode(1, ROOT, bound=2.0, time=0.1),
+                ]
+            )
+
+    def test_serialisation_roundtrip(self, tmp_path):
+        tree = tiny_manual_tree()
+        path = tmp_path / "tree.json"
+        tree.save(path)
+        loaded = BasicTree.load(path)
+        assert len(loaded) == len(tree)
+        assert loaded.optimal_value() == tree.optimal_value()
+        assert loaded.node(ROOT).branch_variable == 0
+
+    def test_scaled_times(self):
+        tree = tiny_manual_tree()
+        scaled = tree.with_scaled_times(10.0)
+        assert scaled.total_node_time() == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            tree.with_scaled_times(-1.0)
+
+
+class TestRecorder:
+    def test_recorded_tree_contains_all_nodes(self):
+        problem = random_knapsack(6, seed=2)
+        tree = record_basic_tree(problem, name="kp6")
+        # Without elimination the recorded tree covers every expanded node and
+        # replaying it with pruning gives back the true optimum.
+        assert len(tree) >= 3
+        assert tree.optimal_value() == pytest.approx(problem.solve_exact(), abs=1e-6)
+
+    def test_recorded_tree_replay_matches_direct_solve(self):
+        problem = random_knapsack(7, seed=9)
+        tree = record_basic_tree(problem)
+        replay = TreeReplayProblem(tree)
+        direct = SequentialSolver(problem).solve()
+        replayed = SequentialSolver(replay).solve()
+        assert replayed.best_value == pytest.approx(direct.best_value, abs=1e-9)
+
+    def test_truncated_recording_is_still_valid(self):
+        problem = random_knapsack(10, seed=1)
+        tree = record_basic_tree(problem, max_nodes=20)
+        tree.validate()
+        assert len(tree) <= 3 * 20  # expanded nodes plus recorded children
+
+
+class TestRandomTrees:
+    def test_exact_node_count_and_validity(self):
+        for nodes in (1, 3, 51, 200):
+            tree = generate_random_tree(RandomTreeSpec(nodes=nodes, seed=3))
+            tree.validate()
+            expected = nodes if nodes % 2 == 1 else nodes + 1
+            assert len(tree) == expected
+
+    def test_deterministic_for_seed(self):
+        a = generate_random_tree(RandomTreeSpec(nodes=101, seed=5))
+        b = generate_random_tree(RandomTreeSpec(nodes=101, seed=5))
+        assert a.to_dict() == b.to_dict()
+        c = generate_random_tree(RandomTreeSpec(nodes=101, seed=6))
+        assert a.to_dict() != c.to_dict()
+
+    def test_has_feasible_leaf_and_positive_times(self):
+        tree = generate_random_tree(RandomTreeSpec(nodes=101, seed=1))
+        assert tree.optimal_value() is not None
+        assert all(node.time >= 0 for node in tree)
+        assert tree.mean_node_time() > 0
+
+    def test_bounds_are_admissible_along_paths(self):
+        tree = generate_random_tree(RandomTreeSpec(nodes=201, seed=8))
+        for node in tree:
+            if node.feasible_value is not None:
+                for ancestor in node.code.ancestors(include_self=True):
+                    assert tree.node(ancestor).bound <= node.feasible_value + 1e-9
+
+    def test_mean_node_time_close_to_spec(self):
+        spec = RandomTreeSpec(nodes=2001, mean_node_time=0.5, seed=4)
+        tree = generate_random_tree(spec)
+        assert tree.mean_node_time() == pytest.approx(0.5, rel=0.15)
+
+    def test_paper_workloads(self):
+        fig3 = paper_workload("figure3")
+        assert 3300 <= len(fig3) <= 3700
+        assert fig3.mean_node_time() == pytest.approx(0.01, rel=0.2)
+        tiny = paper_workload("tiny")
+        assert len(tiny) < 300
+        with pytest.raises(ValueError):
+            paper_workload("nonexistent")
+
+    @given(st.integers(min_value=3, max_value=301), st.integers(min_value=0, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_random_trees_always_validate(self, nodes, seed):
+        tree = generate_random_tree(RandomTreeSpec(nodes=nodes, seed=seed))
+        tree.validate()
+        # Full binary: internal nodes have exactly two recorded children.
+        for node in tree:
+            assert len(node.child_codes()) in (0, 2)
+
+
+class TestTreeReplay:
+    def test_replay_optimum_with_pruning(self):
+        tree = generate_random_tree(RandomTreeSpec(nodes=301, seed=2))
+        problem = TreeReplayProblem(tree, prune=True)
+        result = SequentialSolver(problem).solve()
+        assert result.best_value == pytest.approx(tree.optimal_value())
+        assert result.nodes_expanded <= len(tree)
+
+    def test_replay_without_pruning_expands_everything(self):
+        tree = generate_random_tree(RandomTreeSpec(nodes=101, seed=2))
+        problem = TreeReplayProblem(tree, prune=False)
+        result = SequentialSolver(problem, rule=SelectionRule.DEPTH_FIRST).solve()
+        assert result.nodes_expanded == len(tree)
+        assert result.best_value == pytest.approx(tree.optimal_value())
+
+    def test_granularity_scales_cost(self):
+        tree = generate_random_tree(RandomTreeSpec(nodes=101, seed=2))
+        base = TreeReplayProblem(tree, prune=False)
+        scaled = base.with_granularity(10.0)
+        r1 = SequentialSolver(base, rule=SelectionRule.DEPTH_FIRST).solve()
+        r2 = SequentialSolver(scaled, rule=SelectionRule.DEPTH_FIRST).solve()
+        assert r2.total_cost == pytest.approx(10.0 * r1.total_cost, rel=1e-9)
+
+    def test_invalid_granularity(self):
+        tree = generate_random_tree(RandomTreeSpec(nodes=11, seed=0))
+        with pytest.raises(ValueError):
+            TreeReplayProblem(tree, granularity=-1.0)
+
+    def test_describe(self):
+        tree = generate_random_tree(RandomTreeSpec(nodes=11, seed=0, name="t"))
+        info = TreeReplayProblem(tree).describe()
+        assert info["tree"] == "t"
+        assert info["nodes"] == 11
+
+
+class TestCostModel:
+    def test_assign_node_times_deterministic(self):
+        tree = generate_random_tree(RandomTreeSpec(nodes=101, seed=2))
+        model = NodeTimeModel(mean=2.0, cv=0.3, seed=9)
+        a = assign_node_times(tree, model)
+        b = assign_node_times(tree, model)
+        assert a.to_dict() == b.to_dict()
+        assert a.mean_node_time() == pytest.approx(2.0, rel=0.3)
+
+    def test_zero_mean_and_zero_cv(self):
+        tree = generate_random_tree(RandomTreeSpec(nodes=11, seed=2))
+        zero = assign_node_times(tree, NodeTimeModel(mean=0.0))
+        assert zero.total_node_time() == 0.0
+        constant = assign_node_times(tree, NodeTimeModel(mean=1.0, cv=0.0))
+        assert all(node.time == pytest.approx(1.0) for node in constant)
+
+    def test_tree_time_summary(self):
+        tree = generate_random_tree(RandomTreeSpec(nodes=11, seed=2))
+        summary = tree_time_summary(tree)
+        assert summary["nodes"] == 11
+        assert summary["total"] == pytest.approx(tree.total_node_time())

@@ -1,0 +1,148 @@
+"""Tests for the recovery policy and termination detection."""
+
+import pytest
+
+from repro.core.completion import CompletionTracker
+from repro.core.encoding import ROOT, PathCode
+from repro.core.recovery import RecoveryPolicy
+from repro.core.termination import TerminationDetector, is_root_report, make_root_report
+from repro.core.work_report import BestSolution, WorkReport
+
+
+class TestRecoveryPolicy:
+    def test_requires_positive_threshold(self):
+        with pytest.raises(ValueError):
+            RecoveryPolicy(failed_request_threshold=0)
+
+    def test_no_recovery_before_threshold(self):
+        tracker = CompletionTracker("w")
+        tracker.record_completed(ROOT.child(0, 0), now=0.0)
+        policy = RecoveryPolicy(failed_request_threshold=3)
+        policy.note_request_failed(1.0)
+        policy.note_request_failed(1.5)
+        decision = policy.evaluate(tracker, 2.0)
+        assert decision.code is None
+        assert decision.reason == "not-starved"
+
+    def test_recovery_after_threshold(self):
+        tracker = CompletionTracker("w")
+        tracker.record_completed(ROOT.child(0, 0), now=0.0)
+        policy = RecoveryPolicy(failed_request_threshold=2)
+        policy.note_request_failed(1.0)
+        policy.note_request_failed(1.2)
+        decision = policy.evaluate(tracker, 1.5)
+        assert decision.code is not None
+        assert decision.reason == "starvation"
+        assert not tracker.table.covers(decision.code)
+
+    def test_obtaining_work_resets_failures(self):
+        policy = RecoveryPolicy(failed_request_threshold=2)
+        policy.note_request_failed(1.0)
+        policy.note_work_obtained()
+        assert policy.consecutive_failures == 0
+        assert not policy.should_suspect_loss(2.0)
+
+    def test_idle_time_threshold(self):
+        tracker = CompletionTracker("w")
+        tracker.record_completed(ROOT.child(0, 0), now=0.0)
+        policy = RecoveryPolicy(failed_request_threshold=1, idle_time_threshold=5.0)
+        policy.note_request_failed(1.0)
+        assert policy.evaluate(tracker, 2.0).code is None
+        assert policy.evaluate(tracker, 7.0).code is not None
+
+    def test_tree_complete_means_no_recovery(self):
+        tracker = CompletionTracker("w")
+        tracker.record_completed(ROOT, now=0.0)
+        policy = RecoveryPolicy(failed_request_threshold=1)
+        policy.note_request_failed(1.0)
+        decision = policy.evaluate(tracker, 2.0)
+        assert decision.code is None
+        assert decision.reason == "tree-complete"
+
+    def test_active_recoveries_are_excluded(self):
+        tracker = CompletionTracker("w")
+        tracker.record_completed(ROOT.child(0, 0), now=0.0)
+        policy = RecoveryPolicy(failed_request_threshold=1)
+        policy.note_request_failed(1.0)
+        first = policy.evaluate(tracker, 2.0).code
+        policy.note_recovery_started(first)
+        # Starting recovery resets starvation; fail again to re-trigger.
+        policy.note_request_failed(3.0)
+        second = policy.evaluate(tracker, 4.0).code
+        assert second is None or second != first
+
+    def test_abort_and_finish_bookkeeping(self):
+        tracker = CompletionTracker("w")
+        tracker.record_completed(ROOT.child(0, 0), now=0.0)
+        policy = RecoveryPolicy(failed_request_threshold=1)
+        policy.note_request_failed(1.0)
+        code = policy.evaluate(tracker, 2.0).code
+        policy.note_recovery_started(code)
+        assert code in policy.active_recoveries
+        assert not policy.should_abort(tracker, code)
+        tracker.merge_report(WorkReport.build("peer", [code]))
+        assert policy.should_abort(tracker, code)
+        policy.note_recovery_aborted(code, time_spent=0.5)
+        assert code not in policy.active_recoveries
+        assert policy.stats.aborted_recoveries == 1
+        assert policy.stats.redundant_time == pytest.approx(0.5)
+
+    def test_finish_redundant_recovery(self):
+        policy = RecoveryPolicy()
+        code = ROOT.child(0, 1)
+        policy.note_recovery_started(code)
+        policy.note_recovery_finished(code, redundant=True, time_spent=1.0)
+        assert policy.stats.redundant_recoveries == 1
+        stats = policy.stats.as_dict()
+        assert stats["activations"] == 1
+
+
+class TestTermination:
+    def test_root_report_helpers(self):
+        report = make_root_report("w", best=BestSolution(4.0))
+        assert is_root_report(report)
+        assert not is_root_report(WorkReport.build("w", [ROOT.child(0, 0)]))
+
+    def test_local_detection(self):
+        tracker = CompletionTracker("w")
+        detector = TerminationDetector(tracker)
+        assert not detector.terminated
+        tracker.record_completed(ROOT.child(0, 0), now=0.0)
+        assert detector.check_local(1.0) is False
+        tracker.record_completed(ROOT.child(0, 1), now=1.5)
+        assert detector.check_local(2.0) is True
+        assert detector.terminated
+        assert detector.detected_via == "local"
+        assert detector.detected_at == 2.0
+        # Only the first detection returns True.
+        assert detector.check_local(3.0) is False
+
+    def test_detection_via_root_report(self):
+        tracker = CompletionTracker("w")
+        detector = TerminationDetector(tracker)
+        newly = detector.observe_report(make_root_report("peer"), now=5.0)
+        assert newly
+        assert detector.detected_via == "root_report"
+        assert tracker.is_tree_complete()
+        assert not detector.needs_root_broadcast()
+
+    def test_detection_via_ordinary_report(self):
+        tracker = CompletionTracker("w")
+        tracker.record_completed(ROOT.child(0, 0), now=0.0)
+        detector = TerminationDetector(tracker)
+        report = WorkReport.build("peer", [ROOT.child(0, 1)])
+        # The caller (the worker) merges the report into its table first and
+        # then lets the detector re-evaluate it.
+        tracker.merge_report(report)
+        assert detector.observe_report(report, now=2.0)
+        assert detector.detected_via == "local"
+        assert detector.needs_root_broadcast()
+        detector.mark_root_broadcast_sent()
+        assert not detector.needs_root_broadcast()
+
+    def test_duplicate_root_reports_do_not_re_trigger(self):
+        tracker = CompletionTracker("w")
+        detector = TerminationDetector(tracker)
+        assert detector.observe_report(make_root_report("a"), now=1.0)
+        assert not detector.observe_report(make_root_report("b"), now=2.0)
+        assert detector.detected_at == 1.0

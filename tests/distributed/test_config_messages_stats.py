@@ -1,0 +1,165 @@
+"""Tests for the algorithm configuration, wire messages and run statistics."""
+
+import pytest
+
+from repro.core.encoding import ROOT
+from repro.core.work_report import BestSolution, CompletedTableSnapshot, WorkReport
+from repro.distributed.config import AlgorithmConfig
+from repro.distributed.messages import (
+    MessageKinds,
+    TableGossipMsg,
+    WorkDenied,
+    WorkGrant,
+    WorkReportMsg,
+    WorkRequest,
+)
+from repro.distributed.stats import RunResult, WorkerRunStats
+from repro.simulation.metrics import MetricsCollector
+
+
+class TestAlgorithmConfig:
+    def test_defaults_are_valid(self):
+        config = AlgorithmConfig.paper_default()
+        assert config.report_threshold >= 1
+        assert config.report_fanout >= 1
+
+    def test_with_overrides(self):
+        config = AlgorithmConfig().with_overrides(report_threshold=3, granularity=2.0)
+        assert config.report_threshold == 3
+        assert config.granularity == 2.0
+        # Original defaults untouched elsewhere.
+        assert config.report_fanout == AlgorithmConfig().report_fanout
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("report_threshold", 0),
+            ("report_fanout", 0),
+            ("lb_keep_at_least", 0),
+            ("lb_donation_max", 0),
+            ("lb_donation_fraction", 0.0),
+            ("lb_donation_fraction", 1.5),
+            ("work_request_timeout", 0.0),
+            ("idle_poll_interval", 0.0),
+            ("recovery_failed_threshold", 0),
+            ("granularity", -1.0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            AlgorithmConfig(**{field: value})
+
+
+class TestMessages:
+    def test_wire_sizes(self):
+        request = WorkRequest("w1", best=BestSolution(3.0))
+        denied = WorkDenied("w2")
+        grant = WorkGrant("w2", codes=(ROOT.child(0, 0), ROOT.child(0, 1).child(1, 0)))
+        report = WorkReportMsg(WorkReport.build("w1", [ROOT.child(0, 0)]))
+        gossip = TableGossipMsg(CompletedTableSnapshot("w1", frozenset({ROOT.child(0, 1)})))
+        assert request.wire_size() > 0
+        assert denied.wire_size() > 0
+        assert grant.wire_size() > request.wire_size()
+        assert report.wire_size() > 0
+        assert gossip.wire_size() > 0
+        assert report.best == report.report.best
+        assert gossip.best == gossip.snapshot.best
+
+    def test_message_kinds(self):
+        assert MessageKinds.of(WorkRequest("w")) == MessageKinds.WORK_REQUEST
+        assert MessageKinds.of(WorkDenied("w")) == MessageKinds.WORK_DENIED
+        assert MessageKinds.of(WorkGrant("w", ())) == MessageKinds.WORK_GRANT
+        plain = WorkReportMsg(WorkReport.build("w", [ROOT.child(0, 0)]))
+        root = WorkReportMsg(WorkReport.build("w", [ROOT]))
+        assert MessageKinds.of(plain) == MessageKinds.WORK_REPORT
+        assert MessageKinds.of(root) == MessageKinds.ROOT_REPORT
+        assert MessageKinds.of(TableGossipMsg(CompletedTableSnapshot("w", frozenset()))) == MessageKinds.TABLE_GOSSIP
+        assert MessageKinds.of(object()) == "unknown"
+
+
+class TestRunResultDerivedMetrics:
+    def make_result(self):
+        metrics = MetricsCollector()
+        metrics.charge("w0", "bb", 90.0)
+        metrics.charge("w0", "communication", 4.0)
+        metrics.charge("w0", "contraction", 2.0)
+        metrics.charge("w0", "load_balancing", 1.0)
+        metrics.charge("w0", "idle", 3.0)
+        metrics.update_storage("w0", 2_000_000, 500_000)
+        return RunResult(
+            n_workers=4,
+            makespan=3600.0,
+            best_value=10.0,
+            reference_optimum=10.0,
+            all_terminated=True,
+            total_nodes_expanded=100,
+            redundant_nodes_expanded=10,
+            uniprocessor_time=7200.0,
+            metrics=metrics,
+            total_bytes_sent=8_000_000,
+        )
+
+    def test_percentages_and_rates(self):
+        result = self.make_result()
+        assert result.execution_time_hours() == pytest.approx(1.0)
+        assert result.bb_time_percent() == pytest.approx(90.0)
+        assert result.contraction_time_percent() == pytest.approx(2.0)
+        assert result.communication_time_percent() == pytest.approx(4.0)
+        assert result.load_balancing_time_percent() == pytest.approx(1.0)
+        assert result.idle_time_percent() == pytest.approx(3.0)
+        assert result.overhead_percent() == pytest.approx(10.0)
+        assert result.storage_total_mb() == pytest.approx(2.0)
+        assert result.storage_redundant_mb() == pytest.approx(0.5)
+        # 8 MB over 1 hour over 4 processors = 2 MB/hour/processor.
+        assert result.communication_mb_per_hour_per_processor() == pytest.approx(2.0)
+        assert result.speedup() == pytest.approx(2.0)
+        assert result.efficiency() == pytest.approx(0.5)
+        assert result.redundant_work_fraction() == pytest.approx(0.1)
+        assert result.solved_correctly is True
+
+    def test_summary_keys(self):
+        summary = self.make_result().summary()
+        for key in (
+            "processors",
+            "execution_time_h",
+            "bb_time_pct",
+            "storage_total_mb",
+            "comm_mb_per_hour_per_proc",
+            "speedup",
+            "solved_correctly",
+        ):
+            assert key in summary
+
+    def test_missing_optional_fields(self):
+        result = RunResult(
+            n_workers=1,
+            makespan=0.0,
+            best_value=None,
+            reference_optimum=None,
+            all_terminated=True,
+        )
+        assert result.solved_correctly is None
+        assert result.speedup() is None
+        assert result.efficiency() is None
+        assert result.communication_mb_per_hour_per_processor() == 0.0
+        assert result.bb_time_percent() == 0.0
+        assert result.redundant_work_fraction() == 0.0
+
+    def test_wrong_answer_detected(self):
+        result = RunResult(
+            n_workers=1,
+            makespan=1.0,
+            best_value=11.0,
+            reference_optimum=10.0,
+            all_terminated=True,
+        )
+        assert result.solved_correctly is False
+
+    def test_worker_stats_as_dict(self):
+        stats = WorkerRunStats(name="w0", nodes_expanded=5)
+        stats.time = {"bb": 1.0, "idle": 0.5}
+        row = stats.as_dict()
+        assert row["name"] == "w0"
+        assert row["nodes_expanded"] == 5
+        assert row["time_bb"] == 1.0
+        assert row["time_communication"] == 0.0

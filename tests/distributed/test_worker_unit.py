@@ -1,0 +1,180 @@
+"""Unit-level tests of the worker entity (driven directly, small scenarios)."""
+
+import pytest
+
+from repro.bnb.pool import SelectionRule
+from repro.bnb.random_tree import RandomTreeSpec, generate_random_tree
+from repro.bnb.tree_problem import TreeReplayProblem
+from repro.core.encoding import ROOT
+from repro.core.work_report import BestSolution, WorkReport
+from repro.distributed.config import AlgorithmConfig
+from repro.distributed.messages import (
+    TableGossipMsg,
+    WorkDenied,
+    WorkGrant,
+    WorkReportMsg,
+    WorkRequest,
+)
+from repro.distributed.worker import WorkerEntity
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.metrics import MetricsCollector
+from repro.simulation.network import Network
+from repro.simulation.rng import RngRegistry
+
+
+def make_worker_pair(n_workers=2, **config_overrides):
+    """Two (or more) workers wired to a real engine/network, not yet started."""
+    tree = generate_random_tree(
+        RandomTreeSpec(nodes=31, mean_node_time=0.01, seed=5, name="unit-tree")
+    )
+    problem = TreeReplayProblem(tree, prune=False)
+    config = AlgorithmConfig(
+        selection_rule=SelectionRule.DEPTH_FIRST, **config_overrides
+    )
+    engine = SimulationEngine()
+    rng = RngRegistry(2)
+    network = Network(engine, rng=rng.stream("net"))
+    metrics = MetricsCollector()
+    names = [f"w{i}" for i in range(n_workers)]
+    workers = []
+    for index, name in enumerate(names):
+        worker = WorkerEntity(
+            name,
+            problem,
+            config,
+            names,
+            rng=rng.stream(name),
+            metrics=metrics,
+            initial_work=[problem.root_subproblem()] if index == 0 else [],
+            expected_node_cost=tree.mean_node_time(),
+        )
+        network.register(worker)
+        workers.append(worker)
+    return engine, network, problem, tree, workers
+
+
+class TestWorkerMessageHandling:
+    def test_work_request_denied_when_pool_small(self):
+        engine, network, problem, tree, (w0, w1) = make_worker_pair()
+        from repro.simulation.entity import QueuedMessage
+
+        # w1 has an empty pool: a request from w0 must be denied.
+        message = QueuedMessage(
+            sender="w0", payload=WorkRequest("w0"), sent_at=0.0, delivered_at=0.0, size_bytes=32
+        )
+        w1._handle_message(message)
+        assert w1.stats.work_denials_sent == 1
+        assert w1.stats.work_grants_sent == 0
+        # The denial is on the wire towards w0 (do not run the engine here:
+        # that would start w0's whole main loop).
+        assert network.per_entity["w1"].messages_sent == 1
+
+    def test_work_grant_rebuilds_subproblems(self):
+        engine, network, problem, tree, (w0, w1) = make_worker_pair()
+        from repro.simulation.entity import QueuedMessage
+
+        donated_code = ROOT.child(0, 0)
+        grant = WorkGrant(donor="w0", codes=(donated_code,), best=BestSolution(123.0, "w0"))
+        message = QueuedMessage("w0", grant, 0.0, 0.0, grant.wire_size())
+        w1._handle_message(message)
+        assert len(w1.pool) == 1
+        assert w1.pool.peek().code == donated_code
+        assert w1.stats.work_grants_received == 1
+        # The piggy-backed incumbent was adopted (minimisation: any value beats none).
+        assert w1.incumbent.value == pytest.approx(123.0)
+
+    def test_grant_of_covered_code_is_ignored(self):
+        engine, network, problem, tree, (w0, w1) = make_worker_pair()
+        from repro.simulation.entity import QueuedMessage
+
+        code = ROOT.child(0, 0)
+        w1.tracker.table.add(code)
+        grant = WorkGrant(donor="w0", codes=(code,))
+        w1._handle_message(QueuedMessage("w0", grant, 0.0, 0.0, grant.wire_size()))
+        assert len(w1.pool) == 0
+        assert w1.stats.work_grants_received == 0
+
+    def test_report_merging_updates_table_and_incumbent(self):
+        engine, network, problem, tree, (w0, w1) = make_worker_pair()
+        from repro.simulation.entity import QueuedMessage
+
+        report = WorkReport.build("w0", [ROOT.child(0, 1)], best=BestSolution(50.0, "w0"))
+        msg = WorkReportMsg(report)
+        w1._handle_message(QueuedMessage("w0", msg, 0.0, 0.0, msg.wire_size()))
+        assert w1.tracker.table.covers(ROOT.child(0, 1))
+        assert w1.incumbent.value == pytest.approx(50.0)
+
+    def test_root_report_terminates_worker(self):
+        engine, network, problem, tree, (w0, w1) = make_worker_pair()
+        from repro.core.termination import make_root_report
+        from repro.simulation.entity import QueuedMessage
+
+        msg = WorkReportMsg(make_root_report("w0", best=BestSolution(10.0)))
+        w1._handle_message(QueuedMessage("w0", msg, 0.0, 0.0, msg.wire_size()))
+        assert w1.terminated
+        assert w1.termination.detected_via == "root_report"
+
+    def test_table_gossip_merging(self):
+        engine, network, problem, tree, (w0, w1) = make_worker_pair()
+        from repro.core.work_report import CompletedTableSnapshot
+        from repro.simulation.entity import QueuedMessage
+
+        snapshot = CompletedTableSnapshot("w0", frozenset({ROOT.child(0, 0)}))
+        msg = TableGossipMsg(snapshot)
+        w1._handle_message(QueuedMessage("w0", msg, 0.0, 0.0, msg.wire_size()))
+        assert w1.tracker.table.covers(ROOT.child(0, 0))
+
+    def test_best_solution_not_adopted_when_sharing_disabled(self):
+        engine, network, problem, tree, (w0, w1) = make_worker_pair(share_best_solution=False)
+        from repro.simulation.entity import QueuedMessage
+
+        report = WorkReport.build("w0", [ROOT.child(0, 1)], best=BestSolution(50.0, "w0"))
+        msg = WorkReportMsg(report)
+        w1._handle_message(QueuedMessage("w0", msg, 0.0, 0.0, msg.wire_size()))
+        assert w1.incumbent.value is None
+
+
+class TestWorkerLifecycle:
+    def test_crash_records_stats_and_stops_activity(self):
+        engine, network, problem, tree, (w0, w1) = make_worker_pair()
+        w0.on_start()
+        w1.on_start()
+        w0.crash()
+        assert w0.stats.crashed
+        assert w0.stats.crashed_at is not None
+        engine.run(until=1.0)
+        # A crashed worker never terminates or expands further.
+        assert not w0.terminated
+        assert w0.stats.nodes_expanded == 0 or w0.crashed_at >= 0
+
+    def test_bootstrap_gate_blocks_blank_recovery(self):
+        engine, network, problem, tree, (w0, w1) = make_worker_pair()
+        now = 0.0
+        # w1 is blank (no work done, empty table): it may not recover yet.
+        assert not w1._may_recover(now)
+        # After the bootstrap timeout of uninterrupted blank starvation it may.
+        assert w1._may_recover(now + w1._bootstrap_timeout() + 1.0)
+
+    def test_recovery_allowed_once_table_nonempty(self):
+        engine, network, problem, tree, (w0, w1) = make_worker_pair()
+        w1.tracker.table.add(ROOT.child(0, 0))
+        assert w1._may_recover(0.0)
+
+    def test_finalize_stats_reports_time_and_storage(self):
+        engine, network, problem, tree, (w0, w1) = make_worker_pair()
+        w0.on_start()
+        w1.on_start()
+        engine.run(stop_when=lambda: all(w.terminated for w in (w0, w1)))
+        stats = w0.finalize_stats()
+        assert stats.terminated
+        assert stats.nodes_expanded > 0
+        assert stats.best_value == pytest.approx(tree.optimal_value())
+        assert "bb" in stats.time and stats.time["bb"] > 0
+        assert stats.storage_peak_bytes > 0
+
+    def test_single_worker_group_recovers_alone(self):
+        engine, network, problem, tree, (w0,) = make_worker_pair(n_workers=1)
+        w0.on_start()
+        engine.run(stop_when=lambda: w0.terminated)
+        assert w0.terminated
+        assert w0.incumbent.value == pytest.approx(tree.optimal_value())

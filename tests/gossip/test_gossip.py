@@ -1,0 +1,264 @@
+"""Tests for rumor mongering, membership and the epidemic failure detector."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gossip.failure_detector import GossipFailureDetector
+from repro.gossip.membership import MembershipConfig, MembershipProtocol, MembershipView
+from repro.gossip.rumor import RumorMonger
+from repro.gossip.gossip_server import (
+    GossipMemberEntity,
+    GossipServerEntity,
+    JoinAnnouncement,
+    ViewGossip,
+)
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.network import Network
+from repro.simulation.rng import RngRegistry
+
+
+class TestRumorMonger:
+    def test_learn_and_hotness(self):
+        monger = RumorMonger(stop_count=2, rng=random.Random(0))
+        assert monger.learn("r1", {"data": 1}, now=0.0) is True
+        assert monger.learn("r1", {"data": 1}, now=0.1) is False
+        assert monger.knows("r1")
+        assert monger.get("r1").is_hot
+        assert [rid for rid, _ in monger.outgoing()] == ["r1"]
+
+    def test_feedback_cools_rumor(self):
+        monger = RumorMonger(stop_count=2, rng=random.Random(0))
+        monger.learn("r1", None)
+        monger.feedback("r1", peer_already_knew=False)
+        assert monger.get("r1").hot_count == 2
+        monger.feedback("r1", peer_already_knew=True)
+        monger.feedback("r1", peer_already_knew=True)
+        assert not monger.get("r1").is_hot
+        assert monger.hot_rumors() == []
+        # Feedback on unknown rumors is a no-op.
+        monger.feedback("missing", peer_already_knew=True)
+
+    def test_choose_peers(self):
+        monger = RumorMonger(fanout=2, rng=random.Random(1))
+        peers = monger.choose_peers(["a", "b", "c", "me"], exclude="me")
+        assert len(peers) == 2
+        assert "me" not in peers
+        assert monger.choose_peers(["me"], exclude="me") == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RumorMonger(stop_count=0)
+        with pytest.raises(ValueError):
+            RumorMonger(fanout=0)
+
+    def test_epidemic_spread_reaches_everyone(self):
+        """Push gossip over a complete graph eventually informs every member."""
+        rng = random.Random(5)
+        members = [f"m{i}" for i in range(12)]
+        mongers = {m: RumorMonger(stop_count=3, fanout=2, rng=random.Random(i)) for i, m in enumerate(members)}
+        mongers["m0"].learn("update", 42)
+        for _round in range(60):
+            for name, monger in mongers.items():
+                for rumor_id, payload in monger.outgoing():
+                    for peer in monger.choose_peers(members, exclude=name):
+                        knew = mongers[peer].knows(rumor_id)
+                        mongers[peer].learn(rumor_id, payload)
+                        monger.feedback(rumor_id, peer_already_knew=knew)
+            if all(m.knows("update") for m in mongers.values()):
+                break
+        assert all(m.knows("update") for m in mongers.values())
+
+
+class TestMembershipView:
+    def test_heard_from_and_queries(self):
+        view = MembershipView("me", now=0.0)
+        assert view.heard_from("peer", 1.0) is True
+        assert view.heard_from("peer", 2.0) is False
+        assert view.last_heard("peer") == 2.0
+        assert view.last_heard("ghost") is None
+        assert "peer" in view and len(view) == 2
+        assert view.members() == ["me", "peer"]
+
+    def test_stale_timestamps_do_not_go_backwards(self):
+        view = MembershipView("me", now=0.0)
+        view.heard_from("peer", 5.0)
+        view.heard_from("peer", 3.0)
+        assert view.last_heard("peer") == 5.0
+
+    def test_merge_digest_clamps_future_timestamps(self):
+        view = MembershipView("me", now=0.0)
+        new = view.merge_digest((("peer", 99.0, False),), now=2.0)
+        assert new == ["peer"]
+        assert view.last_heard("peer") == 2.0
+
+    def test_alive_and_suspected(self):
+        view = MembershipView("me", now=0.0)
+        view.heard_from("fresh", 9.0)
+        view.heard_from("stale", 1.0)
+        view.touch_self(10.0)
+        assert view.alive_members(now=10.0, failure_timeout=5.0) == ["fresh", "me"]
+        assert view.suspected_members(now=10.0, failure_timeout=5.0) == ["stale"]
+
+    def test_remove_never_removes_owner(self):
+        view = MembershipView("me", now=0.0)
+        view.heard_from("peer", 0.0)
+        view.remove("peer")
+        view.remove("me")
+        assert view.members() == ["me"]
+
+    def test_gossip_servers_and_digest(self):
+        view = MembershipView("me", now=0.0)
+        view.heard_from("srv", 1.0, is_gossip_server=True)
+        assert view.gossip_servers() == ["srv"]
+        digest = view.digest()
+        assert ("srv", 1.0, True) in digest
+        assert view.digest_wire_size() > 0
+
+
+class TestMembershipProtocol:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MembershipConfig(gossip_interval=0)
+        with pytest.raises(ValueError):
+            MembershipConfig(cleanup_timeout=1.0, failure_timeout=5.0)
+        with pytest.raises(ValueError):
+            MembershipConfig(gossip_fanout=0)
+
+    def test_digest_exchange_discovers_members(self):
+        config = MembershipConfig()
+        alice = MembershipProtocol("alice", config, rng=random.Random(1))
+        bob = MembershipProtocol("bob", config, rng=random.Random(2))
+        bob.view.heard_from("carol", 0.5)
+        new = alice.on_digest("bob", bob.make_digest(1.0), now=1.0)
+        # The sender is registered directly (not reported as "new"); members
+        # learned through the digest are.
+        assert set(new) == {"carol"}
+        assert "carol" in alice.view
+        assert "bob" in alice.view
+
+    def test_gossip_targets_exclude_self_and_respect_fanout(self):
+        config = MembershipConfig(gossip_fanout=2)
+        proto = MembershipProtocol("me", config, rng=random.Random(0))
+        for name in ("a", "b", "c"):
+            proto.view.heard_from(name, 0.0)
+        targets = proto.gossip_targets(now=1.0)
+        assert len(targets) == 2
+        assert "me" not in targets
+
+    def test_cleanup_removes_long_suspected(self):
+        config = MembershipConfig(failure_timeout=2.0, cleanup_timeout=4.0)
+        proto = MembershipProtocol("me", config)
+        proto.view.heard_from("dead", 0.0)
+        assert proto.suspected_members(now=3.0) == ["dead"]
+        assert proto.run_cleanup(now=3.0) == []
+        assert proto.run_cleanup(now=5.0) == ["dead"]
+        assert "dead" not in proto.view
+        assert proto.removed == ["dead"]
+
+    def test_join_announcement(self):
+        proto = MembershipProtocol("server", MembershipConfig())
+        assert proto.on_join_announcement("newcomer", 1.0) is True
+        assert "newcomer" in proto.view
+
+
+class TestSimulatedMembership:
+    def build(self, n_members=4, loss=0.0):
+        config = MembershipConfig(gossip_interval=0.5, failure_timeout=3.0, cleanup_timeout=6.0)
+        engine = SimulationEngine()
+        rng = RngRegistry(7)
+        network = Network(engine, loss_probability=loss, rng=rng.stream("net"))
+        server = GossipServerEntity("server", config, rng=rng.stream("server"))
+        network.register(server)
+        members = []
+        for i in range(n_members):
+            member = GossipMemberEntity(
+                f"m{i}", config, gossip_servers=["server"], rng=rng.stream(f"m{i}")
+            )
+            network.register(member)
+            members.append(member)
+        return engine, network, server, members
+
+    def start_all(self, server, members):
+        server.on_start()
+        for member in members:
+            member.on_start()
+
+    def test_members_discover_each_other(self):
+        engine, network, server, members = self.build(n_members=5)
+        self.start_all(server, members)
+        engine.run(until=10.0)
+        expected = {"server"} | {m.name for m in members}
+        for member in members:
+            assert set(member.current_view()) == expected
+        assert set(server.announced) == {m.name for m in members}
+
+    def test_crashed_member_is_suspected_and_removed(self):
+        engine, network, server, members = self.build(n_members=4)
+        self.start_all(server, members)
+        engine.run(until=5.0)
+        victim = members[0]
+        victim.crash()
+        engine.run(until=25.0)
+        for member in members[1:]:
+            assert victim.name not in member.current_view()
+
+    def test_membership_tolerates_message_loss(self):
+        engine, network, server, members = self.build(n_members=4, loss=0.2)
+        self.start_all(server, members)
+        engine.run(until=20.0)
+        expected = {"server"} | {m.name for m in members}
+        for member in members:
+            assert set(member.current_view()) == expected
+
+    def test_message_wire_sizes(self):
+        assert JoinAnnouncement("x").wire_size() > 0
+        gossip = ViewGossip("a", (("a", 1.0, False),))
+        assert gossip.wire_size() > JoinAnnouncement("x").wire_size() - 20
+
+
+class TestFailureDetector:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GossipFailureDetector("me", fail_timeout=0)
+        with pytest.raises(ValueError):
+            GossipFailureDetector("me", fanout=0)
+
+    def test_heartbeat_merge_and_suspicion(self):
+        a = GossipFailureDetector("a", fail_timeout=2.0, cleanup_timeout=5.0)
+        b = GossipFailureDetector("b", fail_timeout=2.0, cleanup_timeout=5.0)
+        digest = a.tick(0.0)
+        b.merge(digest, now=0.0)
+        assert "a" in b.members()
+        # While heartbeats keep increasing, nobody is suspected.
+        for t in (1.0, 2.0, 3.0):
+            b.merge(a.tick(t), now=t)
+            b.tick(t)
+        assert b.suspected(now=3.5) == []
+        # When a stops ticking, b eventually suspects and then removes it.
+        b.tick(6.0)
+        assert "a" in b.suspected(now=6.0)
+        removed = b.cleanup(now=10.0)
+        assert removed == ["a"]
+        assert "a" not in b.members()
+
+    def test_stale_heartbeat_does_not_refresh(self):
+        a = GossipFailureDetector("a")
+        b = GossipFailureDetector("b")
+        digest = a.tick(0.0)
+        b.merge(digest, now=0.0)
+        # Re-delivering the same (old) heartbeat later must not refresh.
+        b.merge(digest, now=10.0)
+        assert "a" in b.suspected(now=10.0)
+
+    def test_choose_targets(self):
+        detector = GossipFailureDetector("me", fanout=2, rng=random.Random(0))
+        detector.merge((("a", 1), ("b", 1), ("c", 1)), now=0.0)
+        targets = detector.choose_targets(now=0.5)
+        assert len(targets) == 2 and "me" not in targets
+
+    def test_digest_wire_size(self):
+        detector = GossipFailureDetector("me")
+        detector.tick(0.0)
+        assert detector.digest_wire_size() > 0

@@ -1,0 +1,84 @@
+"""Tests for the real multiprocessing execution backend."""
+
+import sys
+
+import pytest
+
+from repro.bnb.random_tree import RandomTreeSpec, generate_random_tree
+from repro.realexec.driver import LocalCluster, run_local_cluster
+from repro.realexec.transport import Envelope, PipeRouter
+
+
+@pytest.fixture(scope="module")
+def small_tree():
+    return generate_random_tree(
+        RandomTreeSpec(nodes=61, mean_node_time=0.0, seed=23, name="real-exec-tree")
+    )
+
+
+class TestPipeRouter:
+    def test_routing_between_workers(self):
+        router = PipeRouter()
+        end_a = router.add_worker("a")
+        end_b = router.add_worker("b")
+        router.start()
+        try:
+            end_a.send(Envelope("a", "b", "hello"))
+            assert end_b.poll(2.0)
+            envelope = end_b.recv()
+            assert envelope.payload == "hello"
+            assert envelope.sender == "a"
+        finally:
+            router.stop()
+        assert router.forwarded == 1
+
+    def test_unknown_destination_dropped(self):
+        router = PipeRouter()
+        end_a = router.add_worker("a")
+        router.start()
+        try:
+            end_a.send(Envelope("a", "ghost", "lost"))
+            import time
+
+            deadline = time.monotonic() + 2.0
+            while router.dropped == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            router.stop()
+        assert router.dropped == 1
+
+    def test_duplicate_worker_rejected(self):
+        router = PipeRouter()
+        router.add_worker("a")
+        with pytest.raises(ValueError):
+            router.add_worker("a")
+
+
+@pytest.mark.skipif(sys.platform.startswith("win"), reason="POSIX multiprocessing only")
+class TestLocalCluster:
+    def test_single_process_run(self, small_tree):
+        result = run_local_cluster(small_tree, 1, prune=False, max_seconds=30.0)
+        assert result.surviving_terminated
+        assert result.solved_correctly
+        outcome = result.outcomes["rworker-00"]
+        assert outcome.nodes_expanded >= len(small_tree) - 1
+
+    def test_three_process_run(self, small_tree):
+        result = run_local_cluster(small_tree, 3, prune=False, max_seconds=40.0)
+        assert result.surviving_terminated
+        assert result.solved_correctly
+
+    def test_killed_worker_is_survivable(self, small_tree):
+        # Slow the nodes down so the cluster is still working when the kill
+        # fires; otherwise the run may legitimately finish first.
+        cluster = LocalCluster(small_tree, 3, prune=False, max_seconds=60.0, node_sleep=0.02)
+        result = cluster.run(kill=["rworker-02"], kill_after=0.1)
+        if not result.killed:
+            pytest.skip("cluster finished before the kill could be injected")
+        assert "rworker-02" in result.killed
+        assert result.surviving_terminated
+        assert result.solved_correctly
+
+    def test_invalid_worker_count(self, small_tree):
+        with pytest.raises(ValueError):
+            LocalCluster(small_tree, 0)
