@@ -1,0 +1,185 @@
+"""Compare the core-micro benchmarks against the checked-in baseline.
+
+``BENCH_BASELINE.json`` records the per-benchmark timing statistics of
+``bench_core_micro.py`` as measured on the *seed* implementation (trimmed
+from a ``pytest-benchmark --benchmark-json`` run).  This script re-runs the
+benchmarks on the current tree and reports the speedup (or regression) per
+benchmark, so every PR that touches the hot paths can show its effect on the
+same trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/compare_baseline.py            # run + compare
+    PYTHONPATH=src python benchmarks/compare_baseline.py --json F   # compare F only
+    PYTHONPATH=src python benchmarks/compare_baseline.py --update   # re-record baseline
+
+Exit status is non-zero when any benchmark regressed beyond ``--threshold``
+(default 1.25× slower than baseline), which makes the script usable as a CI
+gate.  Machine-to-machine variance means absolute times move around; the
+*ratios between benchmarks* and large regressions are what the gate is for.
+
+The baseline must be re-recorded (``--update``, ideally on the commit being
+used as the new reference) whenever benchmark names or workload shapes in
+``bench_core_micro.py`` change — see the workflow notes in ``_harness.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+BASELINE_PATH = HERE / "BENCH_BASELINE.json"
+BENCH_FILE = HERE / "bench_core_micro.py"
+
+#: Statistics copied from the pytest-benchmark JSON into the trimmed baseline.
+_KEPT_STATS = ("min", "max", "mean", "median", "stddev", "rounds")
+
+
+def trim_benchmark_json(raw: dict, *, note: str = "") -> dict:
+    """Reduce a full pytest-benchmark JSON blob to the comparable core."""
+    benchmarks = {}
+    for bench in raw.get("benchmarks", []):
+        benchmarks[bench["name"]] = {
+            "group": bench.get("group"),
+            "stats": {key: bench["stats"][key] for key in _KEPT_STATS},
+        }
+    return {
+        "note": note,
+        "datetime": raw.get("datetime"),
+        "python": raw.get("machine_info", {}).get("python_version"),
+        "benchmarks": benchmarks,
+    }
+
+
+def run_benchmarks(json_path: Path) -> dict:
+    """Run bench_core_micro.py under pytest-benchmark, return the raw JSON."""
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(BENCH_FILE),
+        "-q",
+        "--benchmark-only",
+        f"--benchmark-json={json_path}",
+    ]
+    print(f"$ {' '.join(cmd)}", flush=True)
+    result = subprocess.run(cmd, cwd=HERE.parent)
+    if result.returncode != 0:
+        raise SystemExit(f"benchmark run failed with exit code {result.returncode}")
+    with open(json_path) as fh:
+        return json.load(fh)
+
+
+def compare(baseline: dict, current: dict, threshold: float) -> int:
+    """Print the per-benchmark delta table; return the number of regressions."""
+    base_benches = baseline["benchmarks"]
+    cur_benches = current["benchmarks"]
+    names = sorted(set(base_benches) | set(cur_benches))
+
+    name_width = max(len(name) for name in names)
+    header = (
+        f"{'benchmark':<{name_width}}  {'baseline':>12}  {'current':>12}  "
+        f"{'speedup':>8}  status"
+    )
+    print()
+    if baseline.get("note"):
+        print(f"baseline: {baseline['note']} ({baseline.get('datetime', 'unknown date')})")
+    print(header)
+    print("-" * len(header))
+
+    regressions = 0
+    for name in names:
+        base = base_benches.get(name)
+        cur = cur_benches.get(name)
+        if base is None or cur is None:
+            missing = "baseline" if base is None else "current run"
+            print(f"{name:<{name_width}}  {'—':>12}  {'—':>12}  {'—':>8}  missing from {missing}")
+            continue
+        base_t = base["stats"]["median"]
+        cur_t = cur["stats"]["median"]
+        speedup = base_t / cur_t if cur_t > 0 else float("inf")
+        if cur_t > base_t * threshold:
+            status = "REGRESSION"
+            regressions += 1
+        elif speedup >= 1.0:
+            status = "ok (faster)"
+        else:
+            status = "ok"
+        print(
+            f"{name:<{name_width}}  {_fmt(base_t):>12}  {_fmt(cur_t):>12}  "
+            f"{speedup:>7.2f}x  {status}"
+        )
+    print()
+    return regressions
+
+
+def _fmt(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--json",
+        type=Path,
+        help="compare an existing pytest-benchmark JSON instead of running",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=BASELINE_PATH, help="baseline file to diff against"
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="run the benchmarks and overwrite the baseline with the result",
+    )
+    parser.add_argument(
+        "--note",
+        default="recorded by compare_baseline.py --update",
+        help="provenance note stored in the baseline on --update",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="fail when current median exceeds baseline median by this factor",
+    )
+    args = parser.parse_args(argv)
+
+    if args.json is not None:
+        with open(args.json) as fh:
+            raw = json.load(fh)
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            raw = run_benchmarks(Path(tmp) / "bench.json")
+    current = trim_benchmark_json(raw, note=args.note)
+
+    if args.update:
+        args.baseline.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        raise SystemExit(
+            f"no baseline at {args.baseline}; record one with --update first"
+        )
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+
+    regressions = compare(baseline, current, args.threshold)
+    if regressions:
+        print(f"{regressions} benchmark(s) regressed beyond {args.threshold}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

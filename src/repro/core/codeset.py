@@ -26,13 +26,59 @@ per-operation cost the simulator charges as "list contraction time".
 :func:`contract` is the standalone functional form used for one-shot
 compression of outgoing reports, and :func:`contract_reference` is a naive
 fixed-point implementation kept as a test oracle.
+
+Performance invariants
+----------------------
+The container is tuned for the operations the simulator performs millions of
+times per run, and keeps the following invariants (guarded by the
+property-based equivalence tests against :func:`contract_reference`):
+
+* **Dict-backed trie** — an interior trie node is a plain ``dict`` mapping a
+  packed integer branch key ``(variable << 1) | value`` to its child, and a
+  *completed* node is the sentinel value ``True`` (completed nodes never
+  have children under the contraction invariant, so they need no dict at
+  all).  Hot walks therefore perform one int-keyed dict lookup and two
+  identity checks per level — no attribute access, no node objects, no
+  tuple hashing — and the sibling of key ``k`` is simply ``k ^ 1``.
+  :meth:`PathCode._key_path` caches the packed-key tuple on the code.
+* **Allocation-free covered inserts** — :meth:`CodeSet.add` first walks only
+  *existing* trie nodes; when the code turns out to be covered by a completed
+  ancestor (or by itself) it returns without having allocated anything.
+  Nodes for the missing suffix are created only once coverage has been ruled
+  out.
+* **Persistent walk chain** — the set remembers the dicts along the most
+  recent insertion path.  Because B&B workers complete subproblems in
+  near-DFS order, consecutive inserts usually share a deep prefix, which the
+  next :meth:`CodeSet.add` skips with one C-level tuple compare instead of
+  re-walking the trie.  The chain also serves as the parent list for the
+  merge cascade, so cascades never re-walk either.  Merges and subsumptions
+  invalidate exactly a suffix of the chain (tracked by a counter).
+* **Memoised coverage queries** — :meth:`CodeSet.covers` caches results per
+  code between mutations, collapsing the read-heavy phases (pool draining,
+  grant filtering) to one dict probe per repeated query.
+* **Incremental size counters** — ``len()``, :meth:`wire_size` and (between
+  removals) :meth:`max_depth` are O(1) counter reads maintained by every
+  mutation, never recomputed by re-iterating the trie.  ``max_depth`` falls
+  back to one lazy trie walk after a merge/subsumption removed nodes (the
+  only events that can lower it).
+* **Cached contracted view** — :meth:`codes` memoises its frozenset until
+  the next logical change, so repeated snapshotting (table gossip) is free.
+* **Trie-to-trie merge** — :meth:`merge` walks the other set's trie directly
+  and inserts raw pair tuples shallow-first, skipping `PathCode`
+  construction and re-contraction of the (already contracted) input.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
-from .encoding import ROOT, Branch, PathCode
+from .encoding import (
+    _CODE_HEADER_BYTES,
+    _PAIR_WIRE_BYTES,
+    ROOT,
+    Branch,
+    PathCode,
+)
 
 __all__ = [
     "contract",
@@ -42,18 +88,49 @@ __all__ = [
     "ContractionStats",
 ]
 
+#: An interior trie node maps packed branch keys ``(variable << 1) | value``
+#: to children; a completed node is the bare sentinel ``True`` (it can have
+#: no children, see module docstring).
+_TrieDict = Dict[int, Union[bool, dict]]
+
+
+def _keys_to_pairs(keys: Iterable[int]) -> Tuple[Branch, ...]:
+    """Decode a packed-key path back into ``(variable, value)`` pairs."""
+    return tuple([(k >> 1, k & 1) for k in keys])
+
+
+#: Upper bound on memoised coverage queries per set (reset on mutation).
+_COVERS_CACHE_MAX = 8192
+
 
 def covers(codes: Iterable[PathCode], target: PathCode) -> bool:
     """True when ``target`` or any of its ancestors is in ``codes``.
 
     A completed-code set *covers* a subproblem when the set already records
     that subproblem (or an enclosing subtree) as completed.
+
+    Cost model: a :class:`CodeSet` answers in ``O(depth)`` via its trie; a
+    pre-built ``set``/``frozenset``/``dict`` is probed directly with one
+    hash lookup per ancestor (no copy is made — pass one of these on hot
+    paths); any other iterable must be materialised into a temporary set
+    first, which costs O(len(codes)) *per call*.  An empty collection can
+    never cover anything and returns immediately.
     """
     if isinstance(codes, CodeSet):
         return codes.covers(target)
-    code_set = codes if isinstance(codes, (set, frozenset)) else set(codes)
-    for candidate in target.ancestors(include_self=True):
-        if candidate in code_set:
+    if isinstance(codes, (set, frozenset, dict)):
+        code_set = codes
+    else:
+        # O(n) materialisation — callers on hot paths should pass a set.
+        code_set = set(codes)
+    if not code_set:
+        return False
+    if target in code_set:
+        return True
+    pairs = target.pairs
+    make = PathCode._make
+    for cut in range(len(pairs) - 1, -1, -1):
+        if make(pairs[:cut]) in code_set:
             return True
     return False
 
@@ -95,25 +172,26 @@ class ContractionStats:
         )
 
 
-class _TrieNode:
-    """One node of the completion trie."""
+def _completed_stats(children: _TrieDict) -> Tuple[int, int]:
+    """Return ``(count, sum_of_relative_depths)`` of completed codes below.
 
-    __slots__ = ("children", "completed")
-
-    def __init__(self) -> None:
-        self.children: Dict[Branch, "_TrieNode"] = {}
-        self.completed = False
-
-    def count_completed(self) -> int:
-        """Number of completed codes in this subtree (iterative DFS)."""
-        total = 0
-        stack = [self]
-        while stack:
-            node = stack.pop()
-            if node.completed:
+    Depths are relative to the node owning ``children`` (its direct entries
+    are at relative depth 1), letting the caller convert the aggregate into
+    absolute wire bytes without materialising per-code objects.
+    """
+    total = 0
+    depth_sum = 0
+    stack = [(children, 1)]
+    while stack:
+        node, rel = stack.pop()
+        deeper = rel + 1
+        for value in node.values():
+            if value is True:
                 total += 1
-            stack.extend(node.children.values())
-        return total
+                depth_sum += rel
+            else:
+                stack.append((value, deeper))
+    return total, depth_sum
 
 
 class CodeSet:
@@ -130,11 +208,50 @@ class CodeSet:
     needs.
     """
 
-    __slots__ = ("_root", "_count", "stats")
+    __slots__ = (
+        "_root",
+        "_complete",
+        "_count",
+        "_wire",
+        "_max_depth",
+        "_max_depth_dirty",
+        "_codes_cache",
+        "_covers_cache",
+        "_chain",
+        "_last_keys",
+        "_last_valid",
+        "stats",
+    )
 
     def __init__(self, codes: Optional[Iterable[PathCode]] = None) -> None:
-        self._root = _TrieNode()
+        #: Trie of branch dicts; ``True`` values are completed leaves.
+        self._root: _TrieDict = {}
+        #: Whether the root code itself is completed (the root has no parent
+        #: dict to hold its sentinel, so it gets an explicit flag).
+        self._complete = False
         self._count = 0
+        #: Incrementally maintained total wire size of the contracted codes.
+        self._wire = 0
+        #: Incrementally maintained depth of the deepest code; exact while
+        #: ``_max_depth_dirty`` is False, recomputed lazily otherwise.
+        self._max_depth = 0
+        self._max_depth_dirty = False
+        #: Memoised frozenset of the contracted codes (None = stale).
+        self._codes_cache: Optional[frozenset] = None
+        #: Memoised coverage-query results (reset on every logical change).
+        self._covers_cache: Dict[PathCode, bool] = {}
+        #: Persistent walk chain: ``_chain[i]`` is the interior dict at depth
+        #: ``i`` along the most recent insertion path (``_chain[0]`` is
+        #: always the root dict).  B&B workers complete subproblems in
+        #: near-DFS order, so consecutive inserts share deep prefixes; the
+        #: chain lets :meth:`add` resume below the shared prefix with cheap
+        #: int comparisons instead of re-walking the trie, and doubles as
+        #: the parent list for the merge cascade.  ``_last_valid`` is the
+        #: number of leading chain entries still alive (merges and
+        #: subsumptions kill exactly a suffix).
+        self._chain: List[_TrieDict] = [self._root]
+        self._last_keys: Tuple[int, ...] = ()
+        self._last_valid = 1
         self.stats = ContractionStats()
         if codes:
             self.update(codes)
@@ -143,8 +260,18 @@ class CodeSet:
     # Queries
     # ------------------------------------------------------------------ #
     def __contains__(self, code: PathCode) -> bool:
-        node = self._find(code)
-        return node is not None and node.completed
+        try:
+            keys = code._keys
+        except AttributeError:
+            keys = code._key_path()
+        if not keys:
+            return self._complete
+        node = self._root
+        for k in keys[:-1]:
+            node = node.get(k)
+            if node is None or node is True:
+                return False
+        return node.get(keys[-1]) is True
 
     def __len__(self) -> int:
         return self._count
@@ -166,135 +293,335 @@ class CodeSet:
         preview = ", ".join(sorted(c.encode() for c in self._iter_completed())[:6])
         return f"CodeSet(n={self._count}, [{preview}...])"
 
-    def _find(self, code: PathCode) -> Optional[_TrieNode]:
-        node = self._root
-        for pair in code.pairs:
-            node = node.children.get(pair)
-            if node is None:
-                return None
-        return node
-
     def _iter_completed(self) -> Iterator[PathCode]:
-        stack: List[Tuple[_TrieNode, Tuple[Branch, ...]]] = [(self._root, ())]
+        make = PathCode._make
+        for path in self._iter_completed_keys():
+            yield make(_keys_to_pairs(path))
+
+    def _iter_completed_keys(self) -> Iterator[Tuple[int, ...]]:
+        """Yield the packed-key paths of the contracted codes (no PathCode)."""
+        if self._complete:
+            yield ()
+            return
+        stack: List[Tuple[_TrieDict, Tuple[int, ...]]] = [(self._root, ())]
         while stack:
             node, path = stack.pop()
-            if node.completed:
-                yield PathCode(path)
-                continue  # contracted invariant: no completed descendants
-            for pair, child in node.children.items():
-                stack.append((child, path + (pair,)))
+            for key, value in node.items():
+                if value is True:
+                    yield path + (key,)
+                else:
+                    stack.append((value, path + (key,)))
 
     def codes(self) -> frozenset:
-        """Return the contracted codes as a frozen set."""
-        return frozenset(self._iter_completed())
+        """Return the contracted codes as a frozen set (memoised until changed)."""
+        cache = self._codes_cache
+        if cache is None:
+            cache = frozenset(self._iter_completed())
+            self._codes_cache = cache
+        return cache
 
     def covers(self, code: PathCode) -> bool:
-        """True when ``code`` is known completed (itself or via an ancestor)."""
-        node = self._root
-        if node.completed:
+        """True when ``code`` is known completed (itself or via an ancestor).
+
+        Results are memoised per code until the next logical change to the
+        set: between mutations (the common read-heavy phase — draining a
+        subproblem pool, filtering a grant) a repeated query is a single
+        dict probe on the code's cached hash instead of a trie walk.
+        """
+        if self._complete:
             return True
-        for pair in code.pairs:
-            node = node.children.get(pair)
+        cache = self._covers_cache
+        cached = cache.get(code)
+        if cached is not None:
+            return cached
+        try:
+            keys = code._keys
+        except AttributeError:
+            keys = code._key_path()
+        node = self._root
+        result = False
+        for k in keys:
+            node = node.get(k)
             if node is None:
-                return False
-            if node.completed:
-                return True
-        return False
+                break
+            if node is True:
+                result = True
+                break
+        if len(cache) < _COVERS_CACHE_MAX:
+            cache[code] = result
+        return result
 
     def is_complete(self) -> bool:
         """True when the whole tree is completed (the root code is present)."""
-        return self._root.completed
+        return self._complete
 
     def wire_size(self) -> int:
-        """Total estimated encoded size of the set, in bytes."""
-        return sum(code.wire_size() for code in self._iter_completed())
+        """Total estimated encoded size of the set, in bytes (O(1) counter)."""
+        return self._wire
 
     def max_depth(self) -> int:
-        """Depth of the deepest code in the set (0 for an empty set)."""
-        return max((code.depth for code in self._iter_completed()), default=0)
+        """Depth of the deepest code in the set (0 for an empty set).
+
+        O(1) while only insertions have happened since the last call; one
+        lazy trie walk after a merge or subsumption removed deep codes.
+        """
+        if self._max_depth_dirty:
+            deepest = 0
+            stack: List[Tuple[_TrieDict, int]] = [(self._root, 1)]
+            while stack:
+                node, depth = stack.pop()
+                deeper = depth + 1
+                for value in node.values():
+                    if value is True:
+                        if depth > deepest:
+                            deepest = depth
+                    else:
+                        stack.append((value, deeper))
+            self._max_depth = deepest
+            self._max_depth_dirty = False
+        return self._max_depth
 
     # ------------------------------------------------------------------ #
     # Mutation
     # ------------------------------------------------------------------ #
-    def add(self, code: PathCode) -> bool:
+    def add(self, code: Union[PathCode, Tuple[Branch, ...]]) -> bool:
         """Insert a completed code, restoring the contraction invariant.
 
         Returns ``True`` when the logical content of the set changed (the code
         was not already covered).  Insertion cascades sibling merges upward,
         so a single ``add`` may replace a long chain of codes by one ancestor —
         this is exactly how termination eventually surfaces as the root code.
+
+        ``code`` is normally a :class:`PathCode`; the trie-to-trie fast paths
+        (:meth:`merge`) pass raw packed-key tuples to skip object
+        construction.
         """
-        self.stats.calls += 1
-
-        # Walk down, creating nodes; an already-completed ancestor means the
-        # code is covered and nothing changes.
-        path: List[Tuple[_TrieNode, Branch]] = []  # (parent node, branch taken)
-        node = self._root
-        if node.completed:
+        try:
+            keys = code._keys
+        except AttributeError:
+            if type(code) is PathCode:
+                keys = code._key_path()
+            else:  # raw key tuple from a trie-to-trie fast path
+                keys = code
+        stats = self.stats
+        stats.calls += 1
+        if self._complete:
             return False
-        for pair in code.pairs:
-            child = node.children.get(pair)
+
+        # Resume from the persistent walk chain: skip the longest prefix
+        # shared with the previous insertion path whose chain entries are
+        # still alive.  An int comparison per level replaces a dict lookup —
+        # for the near-DFS completion order of a real B&B run, almost the
+        # whole walk.
+        chain = self._chain  # chain[i] = interior dict at depth i
+        n = len(keys)
+        idx = 0
+        limit = self._last_valid - 1
+        if limit > 0:
+            last = self._last_keys
+            if n < limit:
+                limit = n
+            if len(last) < limit:
+                limit = len(last)
+            if limit > 0 and keys[0] == last[0]:
+                # Near-DFS insertion order almost always shares the whole
+                # usable prefix, so try one C-level slice compare (guarded
+                # by the cheap endpoint probes) before scanning.
+                if keys[limit - 1] == last[limit - 1] and keys[:limit] == last[:limit]:
+                    idx = limit
+                else:
+                    idx = 1
+                    while idx < limit and keys[idx] == last[idx]:
+                        idx += 1
+        node = chain[idx]
+        if len(chain) <= n:
+            chain.extend([None] * (n + 1 - len(chain)))
+
+        # Phase 1: walk only nodes that already exist.  A completed node on
+        # the way down means the code is covered — return without having
+        # allocated a single trie node.  Chain slots are overwritten in
+        # place (``_last_valid`` bounds the live prefix), so the walk pays
+        # one list-item store per level and never reallocates.
+        while idx < n:
+            child = node.get(keys[idx])
             if child is None:
-                child = _TrieNode()
-                node.children[pair] = child
-            path.append((node, pair))
-            node = child
-            if node.completed:
-                # Covered by an ancestor or by the code itself.  Creating the
-                # intermediate nodes above is harmless: they have no completed
-                # descendants other than this chain, and are reachable only on
-                # this path.
-                return False
-
-        self.stats.insertions += 1
-
-        # The new code subsumes everything below it.
-        if node.children:
-            removed = node.count_completed()
-            self.stats.subsumptions += removed
-            self._count -= removed
-            node.children.clear()
-        node.completed = True
-        self._count += 1
-
-        # Cascade sibling merges toward the root.
-        while path:
-            parent, pair = path.pop()
-            var, val = pair
-            sibling = parent.children.get((var, 1 - val))
-            if sibling is None or not sibling.completed:
                 break
-            # Both children completed: replace them by the parent.  The parent
-            # cannot have other completed descendants because it has exactly
-            # these two children subtrees in a binary tree encoding.
-            removed = parent.count_completed()
-            self._count -= removed
-            parent.children.clear()
-            parent.completed = True
+            if child is True:
+                # Covered.  The chain entries written so far stay valid.
+                self._last_keys = keys
+                self._last_valid = idx + 1
+                return False
+            idx += 1
+            chain[idx] = child
+            node = child
+
+        stats.insertions += 1
+        self._codes_cache = None
+        if self._covers_cache:
+            self._covers_cache = {}
+        created = n - idx
+
+        if created:
+            # Phase 2: the code is not covered; create the missing suffix.
+            # A freshly created interior dict has exactly one entry, so when
+            # two or more levels are created no sibling merge can possibly
+            # fire and the cascade is skipped outright.
+            while idx < n - 1:
+                new: _TrieDict = {}
+                node[keys[idx]] = new
+                idx += 1
+                chain[idx] = new
+                node = new
+            node[keys[n - 1]] = True
             self._count += 1
-            self.stats.merges += 1
-        return True
+            self._wire += _CODE_HEADER_BYTES + _PAIR_WIRE_BYTES * n
+            if not self._max_depth_dirty and n > self._max_depth:
+                self._max_depth = n
+            if created > 1:
+                self._last_keys = keys
+                self._last_valid = n  # chain holds depths 0..n-1
+                return True
+        else:
+            # The code's node already existed as an interior dict (every
+            # interior dict leads to at least one completed leaf): the new
+            # code subsumes everything below it.
+            removed, rel_depth_sum = _completed_stats(node)
+            stats.subsumptions += removed
+            self._count -= removed
+            self._wire -= removed * _CODE_HEADER_BYTES + _PAIR_WIRE_BYTES * (
+                removed * n + rel_depth_sum
+            )
+            self._max_depth_dirty = True
+            if n == 0:
+                self._complete = True
+                root: _TrieDict = {}
+                self._root = root
+                chain[0] = root
+                self._last_keys = ()
+                self._last_valid = 1
+                self._count += 1
+                self._wire += _CODE_HEADER_BYTES
+                return True
+            chain[n - 1][keys[n - 1]] = True  # the dict at depth n is gone
+            self._count += 1
+            self._wire += _CODE_HEADER_BYTES + _PAIR_WIRE_BYTES * n
+
+        # Sibling-merge probe at the insertion level — the overwhelmingly
+        # common outcome is "no merge", which exits here.
+        i = n - 1
+        if chain[i].get(keys[i] ^ 1) is not True:
+            self._last_keys = keys
+            self._last_valid = n
+            return True
+
+        # Cascade sibling merges toward the root; the chain already holds
+        # every parent.  Loop invariant at the top: a merge fires at level
+        # ``i`` (both children of ``chain[i]`` are completed).
+        while True:
+            parent = chain[i]
+            # Both children completed: replace them by the parent.  The
+            # parent cannot have other completed descendants because it has
+            # exactly these two children subtrees in a binary tree encoding.
+            # In the overwhelmingly common case it holds exactly the two
+            # completed leaves, so the aggregate is known without a
+            # traversal.
+            if len(parent) == 2:
+                removed = 2
+                rel_depth_sum = 2
+            else:
+                removed, rel_depth_sum = _completed_stats(parent)
+            self._count += 1 - removed
+            self._wire += _CODE_HEADER_BYTES + _PAIR_WIRE_BYTES * i - (
+                removed * _CODE_HEADER_BYTES
+                + _PAIR_WIRE_BYTES * (removed * i + rel_depth_sum)
+            )
+            self._max_depth_dirty = True
+            stats.merges += 1
+            if i == 0:
+                self._complete = True
+                root = {}
+                self._root = root
+                chain[0] = root
+                self._last_keys = ()
+                self._last_valid = 1
+                return True
+            up = chain[i - 1]
+            up[keys[i - 1]] = True
+            if up.get(keys[i - 1] ^ 1) is not True:
+                # The merged dict at depth i (and everything deeper) died.
+                self._last_keys = keys
+                self._last_valid = i
+                return True
+            i -= 1
 
     def update(self, codes: Iterable[PathCode]) -> bool:
-        """Insert many codes; returns ``True`` when anything changed."""
+        """Insert many codes; returns ``True`` when anything changed.
+
+        The batch is inserted shallow-first: once a shallow subtree code is
+        in, every deeper code it covers is rejected by the allocation-free
+        phase-1 walk, and merge cascades fire at most once per subtree
+        instead of rippling after every deep insertion.
+        """
+        add = self.add
         changed = False
-        for code in codes:
-            changed |= self.add(code)
+        for code in sorted(codes, key=len):
+            if add(code):
+                changed = True
         return changed
 
     def merge(self, other: "CodeSet") -> bool:
-        """Merge another contracted set into this one."""
-        return self.update(other.codes())
+        """Merge another contracted set into this one.
+
+        Walks the other trie directly (no intermediate ``frozenset``, no
+        `PathCode` construction) and inserts the raw pair tuples
+        shallow-first.  The input is already contracted, so no rule can fire
+        between its own elements — only against this set's contents.
+        """
+        add = self.add
+        changed = False
+        for keys in sorted(other._iter_completed_keys(), key=len):
+            if add(keys):
+                changed = True
+        return changed
 
     def clear(self) -> None:
         """Remove every code (used when reinitialising a joining member)."""
-        self._root = _TrieNode()
+        self._root = {}
+        self._complete = False
         self._count = 0
+        self._wire = 0
+        self._max_depth = 0
+        self._max_depth_dirty = False
+        self._codes_cache = None
+        self._covers_cache = {}
+        self._chain = [self._root]
+        self._last_keys = ()
+        self._last_valid = 1
 
     def copy(self) -> "CodeSet":
-        """Return an independent copy (statistics are not copied)."""
+        """Return an independent copy (statistics are not copied).
+
+        The trie is cloned structurally — no re-insertion, no cascades.
+        """
         clone = CodeSet()
-        clone.update(self._iter_completed())
+        stack = [(self._root, clone._root)]
+        while stack:
+            src, dst = stack.pop()
+            for pair, value in src.items():
+                if value is True:
+                    dst[pair] = True
+                else:
+                    twin: _TrieDict = {}
+                    dst[pair] = twin
+                    stack.append((value, twin))
+        clone._complete = self._complete
+        clone._count = self._count
+        clone._wire = self._wire
+        clone._max_depth = self._max_depth
+        clone._max_depth_dirty = self._max_depth_dirty
+        clone._codes_cache = self._codes_cache
+        # The covers memo is deliberately not shared: the clone is typically
+        # about to diverge from the original.
         return clone
 
     # ------------------------------------------------------------------ #
@@ -312,21 +639,21 @@ class CodeSet:
         For an empty set the whole tree is missing (``{ROOT}``); for a
         complete set the frontier is empty.
         """
-        if self._root.completed:
+        if self._complete:
             return set()
         if self._count == 0:
             return {ROOT}
+        make = PathCode._make
         frontier: Set[PathCode] = set()
-        stack: List[Tuple[_TrieNode, Tuple[Branch, ...]]] = [(self._root, ())]
+        stack: List[Tuple[_TrieDict, Tuple[int, ...]]] = [(self._root, ())]
         while stack:
             node, path = stack.pop()
-            if node.completed:
-                continue
-            for (var, val), child in node.children.items():
-                sibling_key = (var, 1 - val)
-                if sibling_key not in node.children:
-                    frontier.add(PathCode(path + (sibling_key,)))
-                stack.append((child, path + ((var, val),)))
+            for key, child in node.items():
+                sibling_key = key ^ 1
+                if sibling_key not in node:
+                    frontier.add(make(_keys_to_pairs(path + (sibling_key,))))
+                if child is not True:
+                    stack.append((child, path + (key,)))
         return frontier
 
     def uncovered_siblings(self) -> Set[PathCode]:

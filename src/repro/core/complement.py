@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from enum import Enum
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import Iterable, Optional, Sequence, Set
 
 from .codeset import CodeSet
 from .encoding import ROOT, PathCode, common_prefix_length
@@ -119,20 +119,21 @@ def select_recovery_candidate(
     if not candidates:
         return None
 
-    ordered: List[PathCode] = sorted(candidates)  # deterministic base order
-
+    # The min/max keys below end in ``c.pairs``, which is a total order, so
+    # they are deterministic regardless of set iteration order; only RANDOM
+    # needs the candidates sorted into a reproducible base order first.
     if strategy == SelectionStrategy.DEEPEST:
-        return max(ordered, key=lambda c: (c.depth, c.pairs))
+        return max(candidates, key=lambda c: (c.depth, c.pairs))
     if strategy == SelectionStrategy.SHALLOWEST:
-        return min(ordered, key=lambda c: (c.depth, c.pairs))
+        return min(candidates, key=lambda c: (c.depth, c.pairs))
     if strategy == SelectionStrategy.RANDOM:
         chooser = rng if rng is not None else random
-        return chooser.choice(ordered)
+        return chooser.choice(sorted(candidates))
     if strategy == SelectionStrategy.NEAR_LAST_COMPLETED:
         if last_completed is None:
-            return max(ordered, key=lambda c: (c.depth, c.pairs))
+            return max(candidates, key=lambda c: (c.depth, c.pairs))
         return max(
-            ordered,
+            candidates,
             key=lambda c: (common_prefix_length(c, last_completed), c.depth, c.pairs),
         )
     raise ValueError(f"unknown selection strategy: {strategy!r}")

@@ -90,6 +90,9 @@ class CompletionTracker:
         #: Encoded bytes of completion information learned from other members
         #: (replicated knowledge — the paper's "redundant" storage).
         self.bytes_stored_remote = 0
+        #: Incrementally maintained wire size of the pending (unreported)
+        #: codes, so :meth:`storage_bytes` never re-sums the list.
+        self._pending_wire = 0
 
     # ------------------------------------------------------------------ #
     # Local completion
@@ -100,7 +103,9 @@ class CompletionTracker:
         self.last_completed = code
         self._new_local.append(code)
         self._last_local_update = now
-        self.bytes_stored_local += code.wire_size()
+        wire = code.wire_size()
+        self.bytes_stored_local += wire
+        self._pending_wire += wire
         self.table.add(code)
 
     def record_completed_many(self, codes: Iterable[PathCode], *, now: float = 0.0) -> None:
@@ -161,6 +166,7 @@ class CompletionTracker:
                 sequence=self._sequence,
             )
         self._new_local.clear()
+        self._pending_wire = 0
         self._last_report_time = now
         self._last_local_update = now
         return report
@@ -180,13 +186,16 @@ class CompletionTracker:
         a side effect.
         """
         changed = False
+        table_add = self.table.add
         for code in report.codes:
             self.codes_received += 1
-            if self.table.covers(code):
-                self.redundant_codes_received += 1
-            else:
+            # A single trie walk does both jobs: ``add`` returns False exactly
+            # when the code was already covered (the redundant case).
+            if table_add(code):
                 self.bytes_stored_remote += code.wire_size()
-                changed |= self.table.add(code)
+                changed = True
+            else:
+                self.redundant_codes_received += 1
         return changed
 
     def merge_snapshot(self, snapshot: CompletedTableSnapshot) -> bool:
@@ -228,10 +237,10 @@ class CompletionTracker:
 
         Counts both the contracted table and the pending-report list, matching
         the paper's "storage space" metric which measures the replicated
-        completion information across the system.
+        completion information across the system.  Both terms are O(1)
+        counter reads (the table maintains its wire size incrementally).
         """
-        pending = sum(code.wire_size() for code in self._new_local)
-        return self.table.wire_size() + pending
+        return self.table.wire_size() + self._pending_wire
 
     def remote_information_share(self) -> float:
         """Fraction of stored completion knowledge that came from other members.

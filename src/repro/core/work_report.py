@@ -18,6 +18,13 @@ messages", Section 5).
 
 These classes are plain value objects: the simulator wraps them in simulated
 network messages, and the ``realexec`` backend pickles them over pipes.
+
+Performance invariants: the payloads are immutable, so :meth:`WorkReport.
+wire_size` and :meth:`CompletedTableSnapshot.wire_size` are computed once on
+first request and cached on the instance (the network model asks for the size
+of the same payload at send, delivery and receive time).  Per-code sizes are
+O(1) reads of :meth:`PathCode.wire_size`, which is precomputed at code
+construction.
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import FrozenSet, Iterable, Optional, Tuple
 
-from .codeset import CodeSet, contract
+from .codeset import CodeSet
 from .encoding import PathCode
 
 __all__ = [
@@ -67,6 +74,24 @@ class BestSolution:
         return 0 if self.value is None else _BEST_SOLUTION_BYTES
 
 
+def _cached_payload_wire(payload) -> int:
+    """Shared wire-size computation for the immutable report payloads.
+
+    Computed once per payload and stored in its ``_wire`` slot (-1 sentinel
+    = not yet computed); both payload classes share this single definition
+    of the byte model so they can never disagree on message size.
+    """
+    wire = payload._wire
+    if wire < 0:
+        wire = (
+            _MESSAGE_HEADER_BYTES
+            + sum(code.wire_size() for code in payload.codes)
+            + payload.best.wire_size()
+        )
+        object.__setattr__(payload, "_wire", wire)
+    return wire
+
+
 def compress_report_codes(
     codes: Iterable[PathCode],
     known_table: Optional[CodeSet] = None,
@@ -80,10 +105,11 @@ def compress_report_codes(
     paper notes compression works best "when processors are sufficiently
     loaded" because whole locally-completed subtrees collapse to single codes.
     """
-    compressed = contract(codes)
+    compressed = CodeSet(codes).codes()  # already a frozenset (cached view)
     if known_table is not None:
-        compressed = {c for c in compressed if not known_table.covers(c)}
-    return frozenset(compressed)
+        covers = known_table.covers
+        return frozenset(c for c in compressed if not covers(c))
+    return compressed
 
 
 @dataclass(frozen=True, slots=True)
@@ -108,6 +134,8 @@ class WorkReport:
     codes: FrozenSet[PathCode]
     best: BestSolution = field(default_factory=BestSolution)
     sequence: int = 0
+    #: Cached wire size (-1 = not computed yet); excluded from equality.
+    _wire: int = field(default=-1, init=False, repr=False, compare=False)
 
     @classmethod
     def build(
@@ -133,12 +161,12 @@ class WorkReport:
         return not self.codes
 
     def wire_size(self) -> int:
-        """Estimated encoded size in bytes (drives the latency model)."""
-        return (
-            _MESSAGE_HEADER_BYTES
-            + sum(code.wire_size() for code in self.codes)
-            + self.best.wire_size()
-        )
+        """Estimated encoded size in bytes (drives the latency model).
+
+        Computed once and cached: the payload is immutable and the network
+        model asks for the size several times per message.
+        """
+        return _cached_payload_wire(self)
 
     def contains_root(self) -> bool:
         """True when this is a termination announcement (root-code report)."""
@@ -157,6 +185,8 @@ class CompletedTableSnapshot:
     sender: str
     codes: FrozenSet[PathCode]
     best: BestSolution = field(default_factory=BestSolution)
+    #: Cached wire size (-1 = not computed yet); excluded from equality.
+    _wire: int = field(default=-1, init=False, repr=False, compare=False)
 
     @classmethod
     def from_table(
@@ -170,12 +200,8 @@ class CompletedTableSnapshot:
         )
 
     def wire_size(self) -> int:
-        """Estimated encoded size in bytes."""
-        return (
-            _MESSAGE_HEADER_BYTES
-            + sum(code.wire_size() for code in self.codes)
-            + self.best.wire_size()
-        )
+        """Estimated encoded size in bytes (computed once, then cached)."""
+        return _cached_payload_wire(self)
 
     def as_report(self, sequence: int = 0) -> WorkReport:
         """View the snapshot as a (large) work report for uniform handling."""

@@ -307,13 +307,20 @@ class WorkerEntity(Entity):
     # ------------------------------------------------------------------ #
     def _next_uncovered_subproblem(self) -> Optional[Subproblem]:
         """Pop subproblems until one not already covered by the table is found."""
-        while self.pool:
-            sub = self.pool.pop()
-            if self.config.abort_redundant_work and self.tracker.table.covers(sub.code):
+        # Hoisted lookups: this loop may discard long runs of covered
+        # subproblems after a big report merge, and ``covers`` is the hot
+        # O(depth) trie probe.
+        pool = self.pool
+        abort_redundant = self.config.abort_redundant_work
+        covers = self.tracker.table.covers
+        active_recoveries = self.recovery.active_recoveries
+        while pool:
+            sub = pool.pop()
+            if abort_redundant and covers(sub.code):
                 # Someone else already completed this subtree: drop it and
                 # record the aborted (would-have-been-redundant) work.
                 self.stats.nodes_skipped_covered += 1
-                if sub.code in self.recovery.active_recoveries:
+                if sub.code in active_recoveries:
                     self.recovery.note_recovery_aborted(sub.code)
                     self.stats.recovery_aborted += 1
                 continue
@@ -335,13 +342,16 @@ class WorkerEntity(Entity):
             self._update_incumbent(outcome.incumbent_value, self.name)
 
         now = self._now()
-        before = self.tracker.table.stats.elementary_operations()
+        tracker = self.tracker
+        table_stats = tracker.table.stats
+        active_recoveries = self.recovery.active_recoveries
+        before = table_stats.elementary_operations()
         for code in outcome.completed:
-            self.tracker.record_completed(code, now=now)
+            tracker.record_completed(code, now=now)
             self.stats.completed_codes_local += 1
-            if code in self.recovery.active_recoveries:
+            if code in active_recoveries:
                 self.recovery.note_recovery_finished(code, redundant=False)
-        ops = self.tracker.table.stats.elementary_operations() - before
+        ops = table_stats.elementary_operations() - before
         self._charge("contraction", ops * self.config.contraction_cost_per_op)
 
         for child, child_bound in outcome.children:
@@ -455,11 +465,14 @@ class WorkerEntity(Entity):
         self._outstanding_request = None
         rebuild_cost = 0.0
         accepted = 0
+        covers = self.tracker.table.covers
+        rebuild = self.problem.rebuild_subproblem
+        rebuild_cost_per_decision = self.config.rebuild_cost_per_decision
         for code in grant.codes:
-            if self.tracker.table.covers(code):
+            if covers(code):
                 continue  # already known completed; no point rebuilding
-            sub = self.problem.rebuild_subproblem(code)
-            rebuild_cost += self.config.rebuild_cost_per_decision * max(1, code.depth)
+            sub = rebuild(code)
+            rebuild_cost += rebuild_cost_per_decision * max(1, code.depth)
             if sub is None:
                 # The code replays to an infeasible state: it is a completed
                 # leaf by construction and can be recorded as such.
@@ -516,9 +529,12 @@ class WorkerEntity(Entity):
         # grant that the network dropped).  Forget it so the complement can
         # offer that subtree again — otherwise the exclusion would block the
         # last missing piece forever.
-        for code in list(self.recovery.active_recoveries):
-            if not self.tracker.table.covers(code):
-                self.recovery.active_recoveries.discard(code)
+        active_recoveries = self.recovery.active_recoveries
+        if active_recoveries:
+            covers = self.tracker.table.covers
+            for code in list(active_recoveries):
+                if not covers(code):
+                    active_recoveries.discard(code)
 
         # First, see whether starvation already justifies regenerating work.
         self.recovery.idle_time_threshold = self._effective_idle_threshold()

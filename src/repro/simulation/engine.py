@@ -14,46 +14,74 @@ Determinism
 Runs must be exactly reproducible for a given configuration and seed, so the
 engine breaks ties between simultaneous events by an insertion sequence
 number, never by object identity or hash order.
+
+Performance invariants
+----------------------
+The heap holds plain ``(time, sequence, record)`` tuples, so every sift
+comparison is a C-level tuple compare on a float and an int — no dataclass
+``__lt__`` dispatch.  The event record itself is a tiny ``__slots__`` object
+carrying the callback and cancellation flag.  :meth:`SimulationEngine.run`
+hoists its hot attribute lookups into locals, and automatically compacts the
+heap in place when cancelled events exceed half of it (counted in
+:attr:`SimulationEngine.compactions`), which bounds memory on long runs with
+heavy timer churn without any manual :meth:`drain_cancelled` calls.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 __all__ = ["EventHandle", "SimulationEngine", "SimulationError"]
+
+#: Auto-compaction only considers heaps at least this large; below it the
+#: rebuild costs more than the garbage it reclaims.
+_COMPACT_MIN_HEAP = 64
 
 
 class SimulationError(RuntimeError):
     """Raised for invalid engine usage (scheduling in the past, re-running…)."""
 
 
-@dataclass(order=True)
-class _ScheduledEvent:
-    time: float
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
+class _EventRecord:
+    """Mutable per-event state referenced from the heap tuple."""
+
+    __slots__ = ("time", "callback", "label", "cancelled", "fired")
+
+    def __init__(self, time: float, callback: Callable[[], None], label: str) -> None:
+        self.time = time
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+        self.fired = False
+
+
+#: A heap entry: comparison never reaches the record because the sequence
+#: number is unique.
+_HeapEntry = Tuple[float, int, _EventRecord]
 
 
 class EventHandle:
     """Handle returned by :meth:`SimulationEngine.schedule`; allows cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_engine", "_event")
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(self, engine: "SimulationEngine", event: _EventRecord) -> None:
+        self._engine = engine
         self._event = event
 
     def cancel(self) -> None:
         """Cancel the event if it has not fired yet (idempotent)."""
-        self._event.cancelled = True
+        event = self._event
+        if not event.cancelled:
+            event.cancelled = True
+            if not event.fired:
+                # Track in-heap garbage so the engine can auto-compact.
+                self._engine._cancelled_in_heap += 1
 
     @property
     def cancelled(self) -> bool:
-        """True when the event was cancelled before firing."""
+        """True when the event was cancelled."""
         return self._event.cancelled
 
     @property
@@ -79,12 +107,15 @@ class SimulationEngine:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: List[_ScheduledEvent] = []
-        self._sequence = itertools.count()
+        self._heap: List[_HeapEntry] = []
+        self._sequence = 0
+        self._cancelled_in_heap = 0
         self._running = False
         self._stop_requested = False
         #: Total events executed (not counting cancelled ones).
         self.events_processed = 0
+        #: Number of heap compactions performed (automatic or explicit).
+        self.compactions = 0
 
     # ------------------------------------------------------------------ #
     # Clock
@@ -109,9 +140,11 @@ class SimulationEngine:
             raise SimulationError(
                 f"cannot schedule into the past (time={time}, now={self._now})"
             )
-        event = _ScheduledEvent(time=time, sequence=next(self._sequence), callback=callback, label=label)
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        event = _EventRecord(time, callback, label)
+        seq = self._sequence
+        self._sequence = seq + 1
+        heapq.heappush(self._heap, (time, seq, event))
+        return EventHandle(self, event)
 
     def pending_events(self) -> int:
         """Number of events still in the heap (including cancelled ones)."""
@@ -141,27 +174,45 @@ class SimulationEngine:
             returns ``True``.
 
         Returns the simulated time at which the run stopped.
+
+        Cancelled events are skipped when popped; when they pile up to more
+        than half of a non-trivial heap the engine compacts the heap in
+        place instead of paying log-time pops for garbage.
         """
         if self._running:
             raise SimulationError("run() called re-entrantly")
         self._running = True
         self._stop_requested = False
         executed = 0
+        # The heap list identity is stable (compaction mutates it in place),
+        # so callbacks that schedule new events push into this same list.
+        heap = self._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
         try:
-            while self._heap:
+            while heap:
                 if self._stop_requested:
                     break
                 if max_events is not None and executed >= max_events:
                     break
-                event = heapq.heappop(self._heap)
+                cancelled_count = self._cancelled_in_heap
+                if cancelled_count > _COMPACT_MIN_HEAP and cancelled_count * 2 > len(heap):
+                    self._compact()
+                    if not heap:
+                        break
+                entry = heappop(heap)
+                event = entry[2]
                 if event.cancelled:
+                    self._cancelled_in_heap -= 1
                     continue
-                if until is not None and event.time > until:
+                time = entry[0]
+                if until is not None and time > until:
                     # Put it back: the caller may resume the run later.
-                    heapq.heappush(self._heap, event)
+                    heappush(heap, entry)
                     self._now = until
                     break
-                self._now = event.time
+                self._now = time
+                event.fired = True
                 event.callback()
                 executed += 1
                 self.events_processed += 1
@@ -175,7 +226,17 @@ class SimulationEngine:
         """Request the current :meth:`run` to stop after the current event."""
         self._stop_requested = True
 
-    def drain_cancelled(self) -> None:
-        """Drop cancelled events from the heap (memory hygiene for long runs)."""
-        self._heap = [e for e in self._heap if not e.cancelled]
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled events (in place)."""
+        self._heap[:] = [entry for entry in self._heap if not entry[2].cancelled]
         heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+        self.compactions += 1
+
+    def drain_cancelled(self) -> None:
+        """Drop cancelled events from the heap (memory hygiene for long runs).
+
+        Rarely needed by hand: :meth:`run` compacts automatically once
+        cancelled events exceed half of the heap.
+        """
+        self._compact()

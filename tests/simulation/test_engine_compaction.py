@@ -1,0 +1,91 @@
+"""Tests for the engine's tuple heap and automatic cancelled-event compaction."""
+
+import random
+
+from repro.simulation.engine import SimulationEngine
+
+
+class TestAutoCompaction:
+    def test_run_compacts_when_cancelled_dominate(self):
+        """Cancelling most of a large heap triggers in-run compaction."""
+        engine = SimulationEngine()
+        handles = [engine.schedule(float(i + 1), lambda: None) for i in range(500)]
+        for handle in handles[:400]:
+            handle.cancel()
+        assert engine.pending_events() == 500
+        engine.run()
+        assert engine.compactions >= 1
+        assert engine.events_processed == 100
+        assert engine.pending_events() == 0
+
+    def test_small_heaps_never_compact(self):
+        engine = SimulationEngine()
+        handles = [engine.schedule(float(i + 1), lambda: None) for i in range(20)]
+        for handle in handles[:15]:
+            handle.cancel()
+        engine.run()
+        assert engine.compactions == 0
+        assert engine.events_processed == 5
+
+    def test_compaction_preserves_order_and_determinism(self):
+        """Execution order is identical with and without heavy cancellation."""
+        rng = random.Random(42)
+        times = [rng.uniform(0.0, 100.0) for _ in range(800)]
+
+        def run(cancel):
+            engine = SimulationEngine()
+            order = []
+            handles = []
+            for i, t in enumerate(times):
+                handles.append(engine.schedule(t, lambda i=i: order.append(i)))
+            if cancel:
+                for i, handle in enumerate(handles):
+                    if i % 4 != 0:
+                        handle.cancel()
+            engine.run()
+            return order, engine
+
+        full_order, _ = run(cancel=False)
+        kept_order, engine = run(cancel=True)
+        assert kept_order == [i for i in full_order if i % 4 == 0]
+        assert engine.compactions >= 1
+
+    def test_cancel_after_fire_does_not_corrupt_counter(self):
+        engine = SimulationEngine()
+        fired = []
+        handles = [
+            engine.schedule(float(i + 1), lambda i=i: fired.append(i)) for i in range(5)
+        ]
+        engine.run()
+        for handle in handles:
+            handle.cancel()  # late cancel: must not count as in-heap garbage
+        assert engine._cancelled_in_heap == 0
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_callbacks_scheduling_during_compacting_run(self):
+        """Events scheduled from callbacks land in the same (compacted) heap."""
+        engine = SimulationEngine()
+        seen = []
+
+        def chain(i):
+            seen.append(i)
+            if i < 300:
+                engine.schedule(1.0, lambda: chain(i + 1))
+
+        # Lots of garbage to force at least one compaction mid-run.
+        garbage = [engine.schedule(float(i + 1000), lambda: None) for i in range(300)]
+        for handle in garbage:
+            handle.cancel()
+        engine.schedule(0.5, lambda: chain(0))
+        engine.run()
+        assert seen == list(range(301))
+        assert engine.compactions >= 1
+
+    def test_drain_cancelled_counts_as_compaction(self):
+        engine = SimulationEngine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        handle.cancel()
+        engine.drain_cancelled()
+        assert engine.pending_events() == 1
+        assert engine.compactions == 1
