@@ -1,0 +1,126 @@
+"""WIRE-CODEC — encode/decode throughput and byte-size comparison.
+
+The :mod:`repro.wire` subsystem replaces pickle on the ``realexec`` transport
+and gives the simulator's analytic ``wire_size()`` model a real serializer to
+validate against.  These benchmarks track two things:
+
+* **throughput** — pytest-benchmark timings for encoding and decoding the
+  two payloads that dominate protocol traffic (work reports and contracted
+  table snapshots), tracked in ``BENCH_BASELINE.json`` through
+  ``compare_baseline.py`` like the core-micro trajectory;
+* **bytes** — a printed comparison table (analytic model vs binary codec vs
+  pickle) with hard assertions that the codec output is at least 2x smaller
+  than the pickle the backend used to ship, for both reports and snapshots.
+
+Workload shapes mirror real traffic: reports carry a few dozen compressed
+codes of mixed depth; snapshots carry a contracted table with sibling-dense
+regions (where the front-coded encoding does best).  Keep benchmark names and
+workload shapes stable, or re-record the baseline (see ``_harness.py``).
+"""
+
+import pickle
+import random
+
+import pytest
+
+from _harness import print_experiment
+from repro import wire
+from repro.analysis.tables import format_wire_table
+from repro.core.codeset import CodeSet
+from repro.core.encoding import PathCode
+from repro.core.work_report import BestSolution, CompletedTableSnapshot, WorkReport
+
+#: Acceptance floor: codec must produce frames at least this much smaller
+#: than pickle for the report/snapshot payloads.
+MIN_PICKLE_RATIO = 2.0
+
+
+def random_codes(n, max_depth, seed, min_depth=4):
+    rng = random.Random(seed)
+    codes = []
+    for _ in range(n):
+        depth = rng.randint(min_depth, max_depth)
+        codes.append(
+            PathCode(tuple((level * 3 % 701, rng.randint(0, 1)) for level in range(depth)))
+        )
+    return codes
+
+
+def make_report(seed=17):
+    """A work report like a busy worker emits: ~60 compressed mixed-depth codes."""
+    return WorkReport(
+        sender="rworker-03",
+        codes=frozenset(random_codes(60, 28, seed)),
+        best=BestSolution(value=1234.5, origin="rworker-03"),
+        sequence=41,
+    )
+
+
+def make_snapshot(seed=23):
+    """A contracted table snapshot: 1,500 random codes pushed through CodeSet.
+
+    Contraction leaves sibling-dense frontiers, the shape table gossip
+    actually ships and the best case for front-coded prefixes.
+    """
+    table = CodeSet()
+    for code in random_codes(1500, 20, seed, min_depth=8):
+        table.add(code)
+    return CompletedTableSnapshot(
+        sender="rworker-07",
+        codes=table.codes(),
+        best=BestSolution(value=-99.25, origin="rworker-01"),
+    )
+
+
+@pytest.mark.benchmark(group="wire_codec")
+def test_wire_encode_report(benchmark):
+    """Encode a 60-code work report to a framed byte string."""
+    report = make_report()
+    data = benchmark(wire.encode, report)
+    assert wire.decode(data) == report
+
+
+@pytest.mark.benchmark(group="wire_codec")
+def test_wire_decode_report(benchmark):
+    """Decode a framed 60-code work report."""
+    report = make_report()
+    data = wire.encode(report)
+    decoded = benchmark(wire.decode, data)
+    assert decoded == report
+
+
+@pytest.mark.benchmark(group="wire_codec")
+def test_wire_encode_snapshot(benchmark):
+    """Encode a contracted-table snapshot (hundreds of front-coded codes)."""
+    snapshot = make_snapshot()
+    data = benchmark(wire.encode, snapshot)
+    assert wire.decode(data) == snapshot
+
+
+@pytest.mark.benchmark(group="wire_codec")
+def test_wire_decode_snapshot(benchmark):
+    """Decode a contracted-table snapshot frame."""
+    snapshot = make_snapshot()
+    data = wire.encode(snapshot)
+    decoded = benchmark(wire.decode, data)
+    assert decoded == snapshot
+
+
+def test_wire_byte_ratios():
+    """Report the bytes table and enforce the >=2x pickle-reduction floor."""
+    report = make_report()
+    snapshot = make_snapshot()
+    payloads = [report, snapshot]
+    print_experiment(
+        "WIRE-CODEC — encoded bytes: analytic model vs binary codec vs pickle",
+        format_wire_table(payloads, labels=["work_report", "table_snapshot"], title=None),
+    )
+    for payload in payloads:
+        encoded = wire.encoded_size(payload)
+        pickled = len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        assert pickled >= MIN_PICKLE_RATIO * encoded, (
+            f"{type(payload).__name__}: pickle {pickled}B vs codec {encoded}B "
+            f"is below the {MIN_PICKLE_RATIO}x reduction floor"
+        )
+        # The analytic model must stay an upper bound on the real encoding.
+        assert encoded <= payload.wire_size()

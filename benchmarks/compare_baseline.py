@@ -1,8 +1,9 @@
-"""Compare the core-micro benchmarks against the checked-in baseline.
+"""Compare the tracked micro-benchmarks against the checked-in baseline.
 
-``BENCH_BASELINE.json`` records the per-benchmark timing statistics of
-``bench_core_micro.py`` as measured on the *seed* implementation (trimmed
-from a ``pytest-benchmark --benchmark-json`` run).  This script re-runs the
+``BENCH_BASELINE.json`` records the per-benchmark timing statistics of the
+tracked benchmark files (``bench_core_micro.py`` for the fault-tolerance
+primitives, ``bench_wire_codec.py`` for the binary wire codec), trimmed from
+``pytest-benchmark --benchmark-json`` runs.  This script re-runs the
 benchmarks on the current tree and reports the speedup (or regression) per
 benchmark, so every PR that touches the hot paths can show its effect on the
 same trajectory.
@@ -19,8 +20,8 @@ gate.  Machine-to-machine variance means absolute times move around; the
 *ratios between benchmarks* and large regressions are what the gate is for.
 
 The baseline must be re-recorded (``--update``, ideally on the commit being
-used as the new reference) whenever benchmark names or workload shapes in
-``bench_core_micro.py`` change — see the workflow notes in ``_harness.py``.
+used as the new reference) whenever benchmark names or workload shapes in a
+tracked file change — see the workflow notes in ``_harness.py``.
 """
 
 from __future__ import annotations
@@ -34,7 +35,8 @@ from pathlib import Path
 
 HERE = Path(__file__).resolve().parent
 BASELINE_PATH = HERE / "BENCH_BASELINE.json"
-BENCH_FILE = HERE / "bench_core_micro.py"
+#: Benchmark files tracked against the baseline.
+BENCH_FILES = (HERE / "bench_core_micro.py", HERE / "bench_wire_codec.py")
 
 #: Statistics copied from the pytest-benchmark JSON into the trimmed baseline.
 _KEPT_STATS = ("min", "max", "mean", "median", "stddev", "rounds")
@@ -57,12 +59,12 @@ def trim_benchmark_json(raw: dict, *, note: str = "") -> dict:
 
 
 def run_benchmarks(json_path: Path) -> dict:
-    """Run bench_core_micro.py under pytest-benchmark, return the raw JSON."""
+    """Run the tracked benchmark files under pytest-benchmark, return the raw JSON."""
     cmd = [
         sys.executable,
         "-m",
         "pytest",
-        str(BENCH_FILE),
+        *(str(path) for path in BENCH_FILES),
         "-q",
         "--benchmark-only",
         f"--benchmark-json={json_path}",
@@ -98,7 +100,16 @@ def compare(baseline: dict, current: dict, threshold: float) -> int:
         cur = cur_benches.get(name)
         if base is None or cur is None:
             missing = "baseline" if base is None else "current run"
-            print(f"{name:<{name_width}}  {'—':>12}  {'—':>12}  {'—':>8}  missing from {missing}")
+            status = "" if base is None else " (FAIL: re-record or restore)"
+            print(
+                f"{name:<{name_width}}  {'—':>12}  {'—':>12}  {'—':>8}  "
+                f"missing from {missing}{status}"
+            )
+            if cur is None:
+                # A tracked benchmark that vanished (renamed/deleted without
+                # re-recording) silently loses regression coverage: fail the
+                # gate.  Missing from *baseline* is fine — a new benchmark.
+                regressions += 1
             continue
         base_t = base["stats"]["median"]
         cur_t = cur["stats"]["median"]

@@ -4,9 +4,9 @@
 The paper's evaluation is simulation-based, but the mechanism itself is just
 message-passing over an unreliable, asynchronous transport.  This example runs
 the very same core objects (tree codes, completion tracker, recovery policy,
-work reports) on real ``multiprocessing`` workers connected by pickled
-messages over pipes, and then injects a real fault by killing one of the
-worker processes.
+work reports) on real ``multiprocessing`` workers connected by compact binary
+wire frames over pipes (the ``repro.wire`` codec), and then injects a real
+fault by killing one of the worker processes.
 
 Run it with::
 

@@ -23,7 +23,7 @@ from .figures import (
     table1_tree,
     tiny_tree,
 )
-from .tables import format_kv, format_table
+from .tables import format_kv, format_table, format_wire_table, wire_comparison_rows
 from .timeline import activity_summary, recovery_evidence
 
 __all__ = [
@@ -41,6 +41,8 @@ __all__ = [
     "compression_ablation",
     "format_table",
     "format_kv",
+    "format_wire_table",
+    "wire_comparison_rows",
     "activity_summary",
     "recovery_evidence",
 ]

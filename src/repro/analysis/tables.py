@@ -4,13 +4,20 @@ The benchmark harness prints rows that mirror the paper's tables and figure
 series; this module turns lists of dictionaries into aligned, readable text so
 the output can be pasted directly into EXPERIMENTS.md (and compared against
 the numbers quoted from the paper).
+
+It also provides the encoded-bytes columns for protocol payloads:
+:func:`wire_comparison_rows` puts a payload's analytic ``wire_size()`` model,
+its real :mod:`repro.wire` encoded size and its pickle size side by side, so
+the wire-codec benchmark (and EXPERIMENTS.md) can report how tightly the
+simulator's byte model tracks the bytes the real transport actually ships.
 """
 
 from __future__ import annotations
 
+import pickle
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
-__all__ = ["format_table", "format_kv"]
+__all__ = ["format_table", "format_kv", "wire_comparison_rows", "format_wire_table"]
 
 
 def _format_value(value: object, float_format: str) -> str:
@@ -68,3 +75,68 @@ def format_kv(data: Mapping[str, object], *, float_format: str = ".3f", title: O
     for key, value in data.items():
         lines.append(f"{str(key).ljust(width)} : {_format_value(value, float_format)}")
     return "\n".join(lines)
+
+
+#: Column order of the encoded-bytes comparison table.
+WIRE_COLUMNS = (
+    "payload",
+    "model_bytes",
+    "encoded_bytes",
+    "pickle_bytes",
+    "model_over_encoded",
+    "pickle_over_encoded",
+)
+
+
+def wire_comparison_rows(
+    payloads: Iterable[object], *, labels: Optional[Sequence[str]] = None
+) -> List[Dict[str, object]]:
+    """Encoded-bytes columns for protocol payloads.
+
+    For each payload the row holds the analytic byte model
+    (``payload.wire_size()``, what the simulator's latency and traffic
+    accounting charge), the real framed size produced by the
+    :mod:`repro.wire` codec, the pickle size the ``realexec`` backend used to
+    ship, and the two ratios that summarise them.  Payloads are classified
+    with :class:`~repro.distributed.messages.MessageKinds` when possible,
+    falling back to the class name.
+    """
+    from ..distributed.messages import MessageKinds
+    from ..wire import encoded_size
+
+    rows: List[Dict[str, object]] = []
+    for index, payload in enumerate(payloads):
+        if labels is not None:
+            label = labels[index]
+        else:
+            kind = MessageKinds.of(payload)
+            label = kind if kind != "unknown" else type(payload).__name__
+        model = int(payload.wire_size()) if hasattr(payload, "wire_size") else None
+        encoded = encoded_size(payload)
+        pickled = len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        rows.append(
+            {
+                "payload": label,
+                "model_bytes": model,
+                "encoded_bytes": encoded,
+                "pickle_bytes": pickled,
+                "model_over_encoded": None if model is None else model / encoded,
+                "pickle_over_encoded": pickled / encoded,
+            }
+        )
+    return rows
+
+
+def format_wire_table(
+    payloads: Iterable[object],
+    *,
+    labels: Optional[Sequence[str]] = None,
+    title: Optional[str] = "Wire bytes: analytic model vs binary codec vs pickle",
+) -> str:
+    """Render :func:`wire_comparison_rows` as an aligned text table."""
+    return format_table(
+        wire_comparison_rows(payloads, labels=labels),
+        columns=WIRE_COLUMNS,
+        float_format=".2f",
+        title=title,
+    )

@@ -9,6 +9,17 @@ some of those problems and sends them to the requester".
 :class:`SubproblemPool` implements the three classic rules with a single
 priority heap, plus the donation helpers used by the distributed algorithm
 (which subproblems to give away, and how many).
+
+Performance invariants
+----------------------
+Donation used to rebuild the whole heap (sort + filter + ``heapify``) on
+every work grant, which made load balancing O(n log n) per request on
+donation-heavy runs.  The pool now uses the same lazy-deletion scheme as the
+simulation engine's cancelled-event handling: donated entries stay in the
+heap but their tie-break counters are recorded in a tombstone set, every
+consumer skips tombstoned entries, and the heap is compacted in one O(n)
+pass only when tombstones outnumber live entries.  ``lazy_removed_total``
+and ``compactions`` count the scheme's activity for the stats readers.
 """
 
 from __future__ import annotations
@@ -16,13 +27,18 @@ from __future__ import annotations
 import heapq
 import itertools
 from enum import Enum
-from typing import Generic, Iterable, Iterator, List, Optional, Tuple, TypeVar
+from typing import Generic, Iterator, List, Optional, Set, Tuple, TypeVar
 
 from .problem import Subproblem
 
 __all__ = ["SelectionRule", "SubproblemPool"]
 
 StateT = TypeVar("StateT")
+
+#: Compact the heap when tombstones exceed live entries and at least this
+#: many have accumulated (small pools are cheaper to skip through than to
+#: rebuild).
+_MIN_COMPACT_TOMBSTONES = 16
 
 
 class SelectionRule(str, Enum):
@@ -62,10 +78,16 @@ class SubproblemPool(Generic[StateT]):
         self.minimize = minimize
         self._heap: List[Tuple[float, int, Subproblem[StateT]]] = []
         self._counter = itertools.count()
+        #: Tie-break counters of entries donated away but still in the heap.
+        self._tombstones: Set[int] = set()
         #: Total subproblems ever inserted (metrics).
         self.total_inserted = 0
         #: High-water mark of the pool size (storage metrics).
         self.max_size = 0
+        #: Entries lazily removed by donation (stat counter).
+        self.lazy_removed_total = 0
+        #: Number of tombstone-triggered heap compactions (stat counter).
+        self.compactions = 0
 
     # ------------------------------------------------------------------ #
     # Priority computation
@@ -82,6 +104,28 @@ class SubproblemPool(Generic[StateT]):
         raise ValueError(f"unknown selection rule: {self.rule!r}")
 
     # ------------------------------------------------------------------ #
+    # Lazy-deletion plumbing
+    # ------------------------------------------------------------------ #
+    def _live_entries(self) -> Iterator[Tuple[float, int, Subproblem[StateT]]]:
+        """Heap entries that have not been tombstoned (arbitrary order)."""
+        tombstones = self._tombstones
+        if not tombstones:
+            return iter(self._heap)
+        return (entry for entry in self._heap if entry[1] not in tombstones)
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap without tombstones once they dominate it."""
+        tombstones = self._tombstones
+        if len(tombstones) < _MIN_COMPACT_TOMBSTONES:
+            return
+        if len(tombstones) * 2 <= len(self._heap):
+            return
+        self._heap = [entry for entry in self._heap if entry[1] not in tombstones]
+        heapq.heapify(self._heap)
+        tombstones.clear()
+        self.compactions += 1
+
+    # ------------------------------------------------------------------ #
     # Basic operations
     # ------------------------------------------------------------------ #
     def push(self, sub: Subproblem[StateT], *, bound: Optional[float] = None) -> None:
@@ -89,34 +133,45 @@ class SubproblemPool(Generic[StateT]):
         priority = self._priority(sub, bound)
         heapq.heappush(self._heap, (priority, next(self._counter), sub))
         self.total_inserted += 1
-        if len(self._heap) > self.max_size:
-            self.max_size = len(self._heap)
+        size = len(self._heap) - len(self._tombstones)
+        if size > self.max_size:
+            self.max_size = size
 
     def pop(self) -> Subproblem[StateT]:
         """Remove and return the next subproblem according to the rule."""
-        if not self._heap:
-            raise IndexError("pop from an empty subproblem pool")
-        _prio, _tie, sub = heapq.heappop(self._heap)
-        return sub
+        heap = self._heap
+        tombstones = self._tombstones
+        while heap:
+            _prio, tie, sub = heapq.heappop(heap)
+            if tie in tombstones:
+                tombstones.discard(tie)
+                continue
+            return sub
+        raise IndexError("pop from an empty subproblem pool")
 
     def peek(self) -> Subproblem[StateT]:
         """Return (without removing) the next subproblem."""
-        if not self._heap:
+        heap = self._heap
+        tombstones = self._tombstones
+        while heap and heap[0][1] in tombstones:
+            tombstones.discard(heapq.heappop(heap)[1])
+        if not heap:
             raise IndexError("peek at an empty subproblem pool")
-        return self._heap[0][2]
+        return heap[0][2]
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self._heap) - len(self._tombstones)
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return len(self._heap) > len(self._tombstones)
 
     def __iter__(self) -> Iterator[Subproblem[StateT]]:
-        return (entry[2] for entry in self._heap)
+        return (entry[2] for entry in self._live_entries())
 
     def clear(self) -> None:
         """Drop every active subproblem (used on termination)."""
         self._heap.clear()
+        self._tombstones.clear()
 
     # ------------------------------------------------------------------ #
     # Work donation (load balancing)
@@ -128,7 +183,7 @@ class SubproblemPool(Generic[StateT]):
         problems in its pool removes some of those problems and sends them to
         the requester."  ``keep_at_least`` is that "enough" threshold.
         """
-        return len(self._heap) > keep_at_least
+        return len(self) > keep_at_least
 
     def take_for_donation(
         self, *, max_count: int = 1, keep_at_least: int = 1, prefer_shallow: bool = True
@@ -138,25 +193,31 @@ class SubproblemPool(Generic[StateT]):
         Shallow subproblems are preferred by default because they represent
         larger chunks of work, which keeps load-balancing traffic low — the
         standard work-stealing heuristic for tree search.
+
+        The donated entries are tombstoned rather than filtered out of the
+        heap, so a donation costs one O(n) selection scan instead of a full
+        heap rebuild; the heap itself is compacted lazily.
         """
-        available = len(self._heap) - keep_at_least
+        available = len(self) - keep_at_least
         count = max(0, min(max_count, available))
         if count == 0:
             return []
-        entries = sorted(
-            self._heap,
-            key=lambda e: (e[2].depth if prefer_shallow else -e[2].depth, e[1]),
-        )
-        donated = [entry[2] for entry in entries[:count]]
-        donated_ids = {id(entry[2]) for entry in entries[:count]}
-        self._heap = [entry for entry in self._heap if id(entry[2]) not in donated_ids]
-        heapq.heapify(self._heap)
-        return donated
+        if prefer_shallow:
+            key = lambda entry: (entry[2].depth, entry[1])
+        else:
+            key = lambda entry: (-entry[2].depth, entry[1])
+        chosen = heapq.nsmallest(count, self._live_entries(), key=key)
+        tombstones = self._tombstones
+        for entry in chosen:
+            tombstones.add(entry[1])
+        self.lazy_removed_total += len(chosen)
+        self._maybe_compact()
+        return [entry[2] for entry in chosen]
 
     def drain(self) -> List[Subproblem[StateT]]:
         """Remove and return every subproblem (used by failing processes in tests)."""
-        subs = [entry[2] for entry in self._heap]
-        self._heap.clear()
+        subs = [entry[2] for entry in self._live_entries()]
+        self.clear()
         return subs
 
     # ------------------------------------------------------------------ #
@@ -164,8 +225,8 @@ class SubproblemPool(Generic[StateT]):
     # ------------------------------------------------------------------ #
     def codes(self) -> List:
         """Codes of every active subproblem (tracing / tests)."""
-        return [entry[2].code for entry in self._heap]
+        return [entry[2].code for entry in self._live_entries()]
 
     def storage_bytes(self) -> int:
         """Rough byte estimate of the pooled codes (storage metric)."""
-        return sum(entry[2].code.wire_size() for entry in self._heap)
+        return sum(entry[2].code.wire_size() for entry in self._live_entries())

@@ -17,7 +17,8 @@ best-known solution among processes, embedded in the most frequently sent
 messages", Section 5).
 
 These classes are plain value objects: the simulator wraps them in simulated
-network messages, and the ``realexec`` backend pickles them over pipes.
+network messages, and the ``realexec`` backend ships them as :mod:`repro.wire`
+binary frames over pipes.
 
 Performance invariants: the payloads are immutable, so :meth:`WorkReport.
 wire_size` and :meth:`CompletedTableSnapshot.wire_size` are computed once on

@@ -39,6 +39,9 @@ class WorkerRunStats:
     recovery_activations: int = 0
     recovery_aborted: int = 0
     redundant_expansions: int = 0
+    #: Steps that skipped the message/report machinery entirely (empty inbox,
+    #: nothing due) via the worker's dirty-flag fast path.
+    fast_path_steps: int = 0
     crashed: bool = False
     crashed_at: Optional[float] = None
     terminated: bool = False
@@ -66,6 +69,7 @@ class WorkerRunStats:
             "recovery_activations": self.recovery_activations,
             "recovery_aborted": self.recovery_aborted,
             "redundant_expansions": self.redundant_expansions,
+            "fast_path_steps": self.fast_path_steps,
             "crashed": self.crashed,
             "crashed_at": self.crashed_at,
             "terminated": self.terminated,

@@ -256,14 +256,22 @@ class WorkerEntity(Entity):
             self._idle_since = None
 
         overhead = 0.0
-        overhead += self._process_messages()
-        if self.terminated:
-            # Termination may have been detected while merging reports; the
-            # detector knows whether this worker still owes the final root
-            # broadcast (only the "local" detection path does).
-            self._finish_termination(broadcast=self.config.send_root_report)
-            return
-        overhead += self._maybe_send_reports()
+        # Dirty-flag fast path: most steps of a busy worker arrive with an
+        # empty inbox and nothing due to send, so the message and report
+        # machinery is only entered when there is actually work for it.
+        if self.inbox:
+            overhead += self._process_messages()
+            if self.terminated:
+                # Termination may have been detected while merging reports;
+                # the detector knows whether this worker still owes the final
+                # root broadcast (only the "local" detection path does).
+                self._finish_termination(broadcast=self.config.send_root_report)
+                return
+            overhead += self._maybe_send_reports()
+        elif self._report_work_due(now):
+            overhead += self._maybe_send_reports()
+        else:
+            self.stats.fast_path_steps += 1
 
         if self._check_local_termination():
             return
@@ -627,6 +635,24 @@ class WorkerEntity(Entity):
         self.stats.reports_sent += 1
         return cost
 
+    def _periodic_gossip_due(self, now: float) -> bool:
+        """True when the periodic table-gossip interval has elapsed."""
+        interval = self.config.table_gossip_interval
+        return (
+            interval is not None
+            and bool(self.peers)
+            and (now - self._last_table_gossip) >= interval
+        )
+
+    def _report_work_due(self, now: float) -> bool:
+        """True when :meth:`_maybe_send_reports` would do anything.
+
+        The step fast path and :meth:`_maybe_send_reports` share the same
+        two trigger predicates, so the fast path can never silently skip
+        work the reporting machinery would have done.
+        """
+        return self.tracker.should_send_report(now) or self._periodic_gossip_due(now)
+
     def _maybe_send_reports(self) -> float:
         now = self._now()
         cost = 0.0
@@ -634,8 +660,7 @@ class WorkerEntity(Entity):
         if self.tracker.should_send_report(now):
             cost += self._flush_report()
 
-        interval = self.config.table_gossip_interval
-        if interval is not None and (now - self._last_table_gossip) >= interval and self.peers:
+        if self._periodic_gossip_due(now):
             snapshot = self.tracker.build_table_snapshot(best=self._my_best())
             target = self.rng.choice(self.peers)
             self.send(target, TableGossipMsg(snapshot))

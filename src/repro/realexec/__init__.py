@@ -1,8 +1,10 @@
 """Real (multiprocessing) execution backend.
 
 Runs the same core algorithm objects used by the simulator on real operating
-system processes connected by pickled messages over ``multiprocessing``
-pipes.  Small-scale by design: it demonstrates that the mechanism is not an
+system processes connected by :mod:`repro.wire` binary frames over
+``multiprocessing`` pipes (no protocol payload is pickled; see
+``docs/WIRE_FORMAT.md``).  Small-scale by design: it demonstrates that the
+mechanism is not an
 artefact of the simulator and lets the test-suite kill real processes, while
 the quantitative evaluation stays on the simulator as in the paper.
 

@@ -17,8 +17,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..bnb.basic_tree import BasicTree
+from ..wire import WireFormatError
 from .node import RealWorkerConfig, WorkerOutcome, worker_main
-from .transport import Envelope, PipeRouter
+from .transport import PipeRouter, recv_envelope
 
 __all__ = ["LocalClusterResult", "LocalCluster", "run_local_cluster"]
 
@@ -91,8 +92,7 @@ class LocalCluster:
 
     def run(self, *, kill: Sequence[str] = (), kill_after: float = 0.5) -> LocalClusterResult:
         """Run the cluster, optionally killing the named workers mid-run."""
-        ctx = mp.get_context("spawn" if mp.get_start_method(allow_none=True) is None else None) \
-            if False else mp.get_context()
+        ctx = mp.get_context()
         router = PipeRouter()
         driver_end = router.add_worker("__driver__")
 
@@ -140,10 +140,12 @@ class LocalCluster:
                     kill = ()
                 while driver_end.poll(0.05):
                     try:
-                        envelope = driver_end.recv()
+                        envelope = recv_envelope(driver_end)
                     except (EOFError, OSError):
                         break
-                    if isinstance(envelope, Envelope) and isinstance(envelope.payload, WorkerOutcome):
+                    except WireFormatError:
+                        continue
+                    if isinstance(envelope.payload, WorkerOutcome):
                         result.outcomes[envelope.payload.name] = envelope.payload
                 expected = {n for n in self.names if n not in killed}
                 if expected.issubset(result.outcomes.keys()):

@@ -7,6 +7,12 @@ real OS process, receiving messages over a ``multiprocessing`` pipe.  Node
 "cost" is not simulated: the process simply does the Python work of expanding
 the replayed tree node (an optional ``time.sleep`` can emulate heavier nodes).
 
+All protocol traffic is encoded with the :mod:`repro.wire` binary codec (no
+pickling of protocol payloads): the worker decodes each incoming envelope
+frame at the pipe boundary and encodes every outgoing message the same way.
+The final :class:`WorkerOutcome` is itself a registered wire message
+(extension tag next to the transport's envelope).
+
 The protocol mirrors :mod:`repro.distributed.worker` in miniature; it trades
 the detailed time accounting of the simulator for the ability to kill real
 processes in the fault-injection tests.
@@ -17,7 +23,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..bnb.basic_tree import BasicTree
 from ..bnb.pool import SelectionRule, SubproblemPool
@@ -34,9 +40,24 @@ from ..distributed.messages import (
     WorkReportMsg,
     WorkRequest,
 )
-from .transport import Envelope
+from ..wire import WireFormatError
+from ..wire.frame import Tag, register
+from ..wire.varint import (
+    read_bool,
+    read_float64,
+    read_string,
+    read_uvarint,
+    write_bool,
+    write_float64,
+    write_string,
+    write_uvarint,
+)
+from .transport import Envelope, recv_envelope, send_envelope
 
 __all__ = ["RealWorkerConfig", "WorkerOutcome", "worker_main"]
+
+#: Wire tag of the worker-outcome message (transport extension range).
+WORKER_OUTCOME_TAG = int(Tag.EXTENSION_BASE) + 1
 
 
 @dataclass(frozen=True)
@@ -69,6 +90,45 @@ class WorkerOutcome:
     recoveries: int
 
 
+def _write_worker_outcome(out: bytearray, outcome: WorkerOutcome) -> None:
+    """Outcome body: name, terminated flag, optional best value, counters."""
+    write_string(out, outcome.name)
+    write_bool(out, outcome.terminated)
+    write_bool(out, outcome.best_value is not None)
+    if outcome.best_value is not None:
+        write_float64(out, float(outcome.best_value))
+    write_uvarint(out, outcome.nodes_expanded)
+    write_uvarint(out, outcome.reports_sent)
+    write_uvarint(out, outcome.recoveries)
+
+
+def _read_worker_outcome(data, pos: int) -> Tuple[WorkerOutcome, int]:
+    """Read an outcome body written by :func:`_write_worker_outcome`."""
+    name, pos = read_string(data, pos)
+    terminated, pos = read_bool(data, pos)
+    has_best, pos = read_bool(data, pos)
+    best_value = None
+    if has_best:
+        best_value, pos = read_float64(data, pos)
+    nodes_expanded, pos = read_uvarint(data, pos)
+    reports_sent, pos = read_uvarint(data, pos)
+    recoveries, pos = read_uvarint(data, pos)
+    return (
+        WorkerOutcome(
+            name=name,
+            terminated=terminated,
+            best_value=best_value,
+            nodes_expanded=nodes_expanded,
+            reports_sent=reports_sent,
+            recoveries=recoveries,
+        ),
+        pos,
+    )
+
+
+register(WORKER_OUTCOME_TAG, WorkerOutcome, _write_worker_outcome, _read_worker_outcome)
+
+
 def worker_main(config: RealWorkerConfig, connection) -> None:
     """Entry point executed in the child process.
 
@@ -97,7 +157,7 @@ def worker_main(config: RealWorkerConfig, connection) -> None:
 
     def send(destination: str, payload) -> None:
         try:
-            connection.send(Envelope(config.name, destination, payload))
+            send_envelope(connection, Envelope(config.name, destination, payload))
         except (BrokenPipeError, OSError):  # pragma: no cover - driver gone
             pass
 
@@ -129,10 +189,14 @@ def worker_main(config: RealWorkerConfig, connection) -> None:
         # ------------------------------------------------------------ drain
         while connection.poll(0 if pool else config.poll_timeout):
             try:
-                envelope = connection.recv()
+                envelope = recv_envelope(connection)
             except (EOFError, OSError):
                 terminated = True
                 break
+            except WireFormatError:
+                # A corrupt frame is indistinguishable from a lost message in
+                # the paper's unreliable-channel model: drop it and move on.
+                continue
             payload = envelope.payload
             absorb_best(payload)
             if isinstance(payload, WorkRequest):

@@ -1,17 +1,27 @@
-"""Pickle-over-multiprocessing transport for the real execution backend.
+"""Binary-framed transport for the real execution backend.
 
 The paper evaluates its algorithm purely in simulation; this backend runs the
 *same* core objects (:class:`~repro.core.completion.CompletionTracker`,
 :class:`~repro.core.recovery.RecoveryPolicy`, the tree encoding, the work
-messages) on real operating-system processes connected by pickled messages
-over ``multiprocessing`` pipes.  It exists to demonstrate that the algorithm
-is not tied to the simulator and to let the fault-injection tests kill actual
-processes.
+messages) on real operating-system processes connected by ``multiprocessing``
+pipes.  It exists to demonstrate that the algorithm is not tied to the
+simulator and to let the fault-injection tests kill actual processes.
 
-The transport is deliberately simple: a star of duplex pipes terminated at a
-small router thread in the parent process.  Messages are addressed by worker
-name; the router forwards them and never retries — an unreliable, asynchronous
-channel, like the paper assumes.
+Protocol payloads travel as :mod:`repro.wire` frames, not pickles: each
+message on a pipe is one length-prefixed byte string (``Connection.
+send_bytes``) containing an :class:`Envelope` frame — sender, destination and
+the nested payload frame.  The router parses only the envelope's routing
+header and forwards the raw bytes untouched, so the parent process never
+decodes (or re-encodes) payload bodies; full decoding happens once, at the
+receiving worker.  Byte-for-byte forwarding also gives the router exact
+per-link traffic counters, the real-execution counterpart of the simulator's
+:class:`~repro.simulation.network.TrafficStats`.
+
+The transport remains deliberately simple: a star of duplex pipes terminated
+at a small router thread in the parent process.  Messages are addressed by
+worker name; the router forwards them and never retries — an unreliable,
+asynchronous channel, like the paper assumes.  Frames that do not parse as
+envelopes (truncated, corrupt, or foreign bytes) are counted and dropped.
 """
 
 from __future__ import annotations
@@ -19,9 +29,24 @@ from __future__ import annotations
 import multiprocessing as mp
 import threading
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
-__all__ = ["Envelope", "PipeRouter"]
+from ..wire import WireFormatError, decode, encode
+from ..wire.frame import Tag, read_header, register
+from ..wire.varint import read_string, read_uvarint, write_string, write_uvarint
+
+__all__ = [
+    "Envelope",
+    "PipeRouter",
+    "encode_envelope",
+    "decode_envelope",
+    "envelope_route",
+    "send_envelope",
+    "recv_envelope",
+]
+
+#: Wire tag of the realexec envelope (transport extension range).
+ENVELOPE_TAG = int(Tag.EXTENSION_BASE)
 
 
 @dataclass(frozen=True)
@@ -33,13 +58,87 @@ class Envelope:
     payload: Any
 
 
+def _write_envelope(out: bytearray, envelope: Envelope) -> None:
+    """Envelope body: sender, destination, then the nested payload frame."""
+    write_string(out, envelope.sender)
+    write_string(out, envelope.destination)
+    payload = encode(envelope.payload)
+    write_uvarint(out, len(payload))
+    out += payload
+
+
+def _read_envelope(data, pos: int) -> Tuple[Envelope, int]:
+    """Read an envelope body; decodes the nested payload frame."""
+    sender, pos = read_string(data, pos)
+    destination, pos = read_string(data, pos)
+    length, pos = read_uvarint(data, pos)
+    end = pos + length
+    if end > len(data):
+        raise WireFormatError("envelope payload runs past end of frame")
+    payload = decode(bytes(data[pos:end]))
+    return Envelope(sender, destination, payload), end
+
+
+register(ENVELOPE_TAG, Envelope, _write_envelope, _read_envelope)
+
+
+def encode_envelope(envelope: Envelope) -> bytes:
+    """Encode an envelope (and its payload) into one frame."""
+    return encode(envelope)
+
+
+def decode_envelope(data: bytes) -> Envelope:
+    """Decode an envelope frame produced by :func:`encode_envelope`."""
+    envelope = decode(data)
+    if not isinstance(envelope, Envelope):
+        raise WireFormatError(f"expected an envelope frame, got {type(envelope).__name__}")
+    return envelope
+
+
+def envelope_route(data) -> Tuple[str, str]:
+    """Parse only ``(sender, destination)`` from an envelope frame.
+
+    This is the router's fast path: it validates the frame header and reads
+    the two routing strings without touching the payload bytes.  Any
+    malformation — in the header or in the routing strings themselves —
+    surfaces as :class:`~repro.wire.WireFormatError`, so the router can treat
+    "unroutable" as a single error class.
+    """
+    _version, tag, pos, _body_len = read_header(data)
+    if tag != ENVELOPE_TAG:
+        raise WireFormatError(f"expected envelope tag {ENVELOPE_TAG}, got {tag}")
+    try:
+        sender, pos = read_string(data, pos)
+        destination, _pos = read_string(data, pos)
+    except WireFormatError:
+        raise
+    except ValueError as exc:
+        raise WireFormatError(f"corrupt envelope routing header: {exc}") from exc
+    return sender, destination
+
+
+def send_envelope(connection, envelope: Envelope) -> None:
+    """Encode and send one envelope over a pipe connection."""
+    connection.send_bytes(encode_envelope(envelope))
+
+
+def recv_envelope(connection) -> Envelope:
+    """Receive and decode one envelope from a pipe connection.
+
+    Raises :class:`~repro.wire.WireFormatError` on corrupt frames and the
+    usual ``EOFError``/``OSError`` on closed pipes.
+    """
+    return decode_envelope(connection.recv_bytes())
+
+
 class PipeRouter:
-    """Routes envelopes between worker processes through the parent.
+    """Routes envelope frames between worker processes through the parent.
 
     The router owns one duplex pipe per worker.  A background thread in the
-    parent process polls the worker ends and forwards envelopes to their
-    destination.  Messages to unknown or finished workers are dropped
-    silently, matching the lossy network model of the paper.
+    parent process polls the worker ends, parses each frame's routing header
+    and forwards the raw bytes to their destination.  Messages to unknown or
+    finished workers, and frames that fail to parse, are dropped silently,
+    matching the lossy network model of the paper.
     """
 
     def __init__(self) -> None:
@@ -49,8 +148,14 @@ class PipeRouter:
         self._stop = threading.Event()
         #: Count of forwarded messages, for tests and reporting.
         self.forwarded = 0
-        #: Count of dropped messages (unknown/closed destination).
+        #: Count of dropped messages (unknown/closed destination, bad frame).
         self.dropped = 0
+        #: Total payload-carrying bytes forwarded.
+        self.bytes_forwarded = 0
+        #: Per-link traffic: ``(sender, destination) -> bytes forwarded``.
+        self.link_bytes: Dict[Tuple[str, str], int] = {}
+        #: Per-link traffic: ``(sender, destination) -> messages forwarded``.
+        self.link_messages: Dict[Tuple[str, str], int] = {}
 
     def add_worker(self, name: str) -> mp.connection.Connection:
         """Create the pipe pair for a worker; returns the child end."""
@@ -96,18 +201,25 @@ class PipeRouter:
             ready = mpc.wait(ends, timeout=0.05)
             for conn in ready:
                 try:
-                    envelope = conn.recv()
+                    frame = conn.recv_bytes()
                 except (EOFError, OSError):
                     continue
-                if not isinstance(envelope, Envelope):
+                try:
+                    link = envelope_route(frame)
+                except WireFormatError:
                     self.dropped += 1
                     continue
-                destination = self._parent_ends.get(envelope.destination)
+                destination = self._parent_ends.get(link[1])
                 if destination is None:
                     self.dropped += 1
                     continue
                 try:
-                    destination.send(envelope)
-                    self.forwarded += 1
+                    destination.send_bytes(frame)
                 except (BrokenPipeError, OSError):
                     self.dropped += 1
+                    continue
+                self.forwarded += 1
+                size = len(frame)
+                self.bytes_forwarded += size
+                self.link_bytes[link] = self.link_bytes.get(link, 0) + size
+                self.link_messages[link] = self.link_messages.get(link, 0) + 1

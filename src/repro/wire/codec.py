@@ -1,0 +1,343 @@
+"""Body codecs for every protocol payload.
+
+Each payload class gets a ``write_*(out, payload)`` / ``read_*(data, pos)``
+pair operating on the *body* bytes only; the frame header (magic, version,
+tag, length) is added by :mod:`repro.wire.frame`.
+
+Path codes travel as their packed integer key paths
+(``(variable << 1) | value`` — the same keys the completion trie uses, read
+straight from :meth:`PathCode._key_path`), one uvarint per decision.  Code
+*sequences* are additionally front-coded: codes are laid out in sorted order
+(for the set-valued payloads) and every code after the first stores only the
+number of leading keys it shares with its predecessor plus its new suffix.
+Sibling-dense completed tables collapse to a couple of bytes per code this
+way, which is exactly the paper's "completed-work information is compressed
+path codes" claim made concrete.
+
+Decoding is a trust boundary: every reader validates counts, prefixes and
+flags and raises ``ValueError`` subclasses from :mod:`repro.wire.varint`,
+which the frame layer wraps into :class:`repro.wire.frame.WireFormatError`.
+Decoded branch keys are structurally valid by construction (``key & 1`` is
+always 0 or 1), so codes are rebuilt with the no-validate
+:meth:`PathCode._make` fast constructor.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.encoding import PathCode
+from ..core.work_report import BestSolution, CompletedTableSnapshot, WorkReport
+from ..distributed.messages import (
+    TableGossipMsg,
+    WorkDenied,
+    WorkGrant,
+    WorkReportMsg,
+    WorkRequest,
+)
+from ..gossip.gossip_server import JoinAnnouncement, ViewGossip
+from ..gossip.membership import ViewDigest
+from .varint import (
+    MalformedVarintError,
+    read_bool,
+    read_float64,
+    read_string,
+    read_uvarint,
+    write_bool,
+    write_float64,
+    write_string,
+    write_uvarint,
+)
+
+__all__ = [
+    "write_path_code",
+    "read_path_code",
+    "write_code_sequence",
+    "read_code_sequence",
+    "write_best_solution",
+    "read_best_solution",
+    "write_work_report",
+    "read_work_report",
+    "write_table_snapshot",
+    "read_table_snapshot",
+    "write_work_request",
+    "read_work_request",
+    "write_work_grant",
+    "read_work_grant",
+    "write_work_denied",
+    "read_work_denied",
+    "write_view_digest",
+    "read_view_digest",
+    "write_view_gossip",
+    "read_view_gossip",
+    "write_join_announcement",
+    "read_join_announcement",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Path codes
+# ---------------------------------------------------------------------- #
+def write_path_code(out: bytearray, code: PathCode) -> None:
+    """Append one code: uvarint depth, then one packed key per decision."""
+    keys = code._key_path()
+    write_uvarint(out, len(keys))
+    for key in keys:
+        write_uvarint(out, key)
+
+
+def read_path_code(data, pos: int) -> Tuple[PathCode, int]:
+    """Read one code written by :func:`write_path_code`."""
+    depth, pos = read_uvarint(data, pos)
+    pairs: List[Tuple[int, int]] = []
+    for _ in range(depth):
+        key, pos = read_uvarint(data, pos)
+        pairs.append((key >> 1, key & 1))
+    return PathCode._make(tuple(pairs)), pos
+
+
+def write_code_sequence(out: bytearray, codes) -> None:
+    """Append a front-coded sequence of codes, preserving iteration order.
+
+    Callers that carry *sets* of codes must pass them pre-sorted so adjacent
+    codes share prefixes (and so the encoding is deterministic); callers that
+    carry *ordered* collections (work grants) pass them as-is and simply get
+    less prefix reuse.
+    """
+    write_uvarint(out, len(codes))
+    previous: Tuple[int, ...] = ()
+    first = True
+    for code in codes:
+        keys = code._key_path()
+        if first:
+            write_uvarint(out, len(keys))
+            first = False
+        else:
+            reuse = 0
+            limit = min(len(previous), len(keys))
+            while reuse < limit and previous[reuse] == keys[reuse]:
+                reuse += 1
+            write_uvarint(out, reuse)
+            write_uvarint(out, len(keys) - reuse)
+            keys = keys[reuse:]
+        for key in keys:
+            write_uvarint(out, key)
+        previous = code._key_path()
+
+
+def read_code_sequence(data, pos: int) -> Tuple[List[PathCode], int]:
+    """Read a front-coded code sequence; returns codes in wire order."""
+    count, pos = read_uvarint(data, pos)
+    codes: List[PathCode] = []
+    previous: Tuple[Tuple[int, int], ...] = ()
+    for index in range(count):
+        if index == 0:
+            reuse = 0
+            fresh, pos = read_uvarint(data, pos)
+        else:
+            reuse, pos = read_uvarint(data, pos)
+            if reuse > len(previous):
+                raise MalformedVarintError(
+                    f"front-coded prefix reuse {reuse} exceeds previous depth {len(previous)}"
+                )
+            fresh, pos = read_uvarint(data, pos)
+        pairs = list(previous[:reuse])
+        for _ in range(fresh):
+            key, pos = read_uvarint(data, pos)
+            pairs.append((key >> 1, key & 1))
+        previous = tuple(pairs)
+        codes.append(PathCode._make(previous))
+    return codes, pos
+
+
+def _write_code_set(out: bytearray, codes) -> None:
+    write_code_sequence(out, sorted(codes))
+
+
+# ---------------------------------------------------------------------- #
+# Best-known solution
+# ---------------------------------------------------------------------- #
+_BEST_HAS_VALUE = 0x01
+_BEST_HAS_ORIGIN = 0x02
+
+
+def write_best_solution(out: bytearray, best: BestSolution) -> None:
+    """Append an incumbent: a presence-flags byte, then value and origin."""
+    flags = 0
+    if best.value is not None:
+        flags |= _BEST_HAS_VALUE
+    if best.origin is not None:
+        flags |= _BEST_HAS_ORIGIN
+    out.append(flags)
+    if best.value is not None:
+        write_float64(out, float(best.value))
+    if best.origin is not None:
+        write_string(out, best.origin)
+
+
+def read_best_solution(data, pos: int) -> Tuple[BestSolution, int]:
+    """Read an incumbent written by :func:`write_best_solution`."""
+    if pos >= len(data):
+        raise MalformedVarintError("best-solution flags byte missing")
+    flags = data[pos]
+    pos += 1
+    if flags & ~(_BEST_HAS_VALUE | _BEST_HAS_ORIGIN):
+        raise MalformedVarintError(f"unknown best-solution flags 0x{flags:02x}")
+    value = origin = None
+    if flags & _BEST_HAS_VALUE:
+        value, pos = read_float64(data, pos)
+    if flags & _BEST_HAS_ORIGIN:
+        origin, pos = read_string(data, pos)
+    return BestSolution(value=value, origin=origin), pos
+
+
+# ---------------------------------------------------------------------- #
+# Work reports and table snapshots
+# ---------------------------------------------------------------------- #
+def write_work_report(out: bytearray, report: WorkReport) -> None:
+    """Append a report: sender, sequence, incumbent, sorted code set."""
+    write_string(out, report.sender)
+    write_uvarint(out, report.sequence)
+    write_best_solution(out, report.best)
+    _write_code_set(out, report.codes)
+
+
+def read_work_report(data, pos: int) -> Tuple[WorkReport, int]:
+    """Read a report written by :func:`write_work_report`."""
+    sender, pos = read_string(data, pos)
+    sequence, pos = read_uvarint(data, pos)
+    best, pos = read_best_solution(data, pos)
+    codes, pos = read_code_sequence(data, pos)
+    return WorkReport(sender=sender, codes=frozenset(codes), best=best, sequence=sequence), pos
+
+
+def write_table_snapshot(out: bytearray, snapshot: CompletedTableSnapshot) -> None:
+    """Append a snapshot: sender, incumbent, sorted contracted table."""
+    write_string(out, snapshot.sender)
+    write_best_solution(out, snapshot.best)
+    _write_code_set(out, snapshot.codes)
+
+
+def read_table_snapshot(data, pos: int) -> Tuple[CompletedTableSnapshot, int]:
+    """Read a snapshot written by :func:`write_table_snapshot`."""
+    sender, pos = read_string(data, pos)
+    best, pos = read_best_solution(data, pos)
+    codes, pos = read_code_sequence(data, pos)
+    return CompletedTableSnapshot(sender=sender, codes=frozenset(codes), best=best), pos
+
+
+# ---------------------------------------------------------------------- #
+# Load-balancing messages
+# ---------------------------------------------------------------------- #
+def write_work_request(out: bytearray, request: WorkRequest) -> None:
+    """Append a work request: requester name and incumbent."""
+    write_string(out, request.requester)
+    write_best_solution(out, request.best)
+
+
+def read_work_request(data, pos: int) -> Tuple[WorkRequest, int]:
+    """Read a work request."""
+    requester, pos = read_string(data, pos)
+    best, pos = read_best_solution(data, pos)
+    return WorkRequest(requester=requester, best=best), pos
+
+
+def write_work_grant(out: bytearray, grant: WorkGrant) -> None:
+    """Append a grant: donor, incumbent, donated codes in donation order."""
+    write_string(out, grant.donor)
+    write_best_solution(out, grant.best)
+    write_code_sequence(out, grant.codes)
+
+
+def read_work_grant(data, pos: int) -> Tuple[WorkGrant, int]:
+    """Read a work grant (code order is preserved)."""
+    donor, pos = read_string(data, pos)
+    best, pos = read_best_solution(data, pos)
+    codes, pos = read_code_sequence(data, pos)
+    return WorkGrant(donor=donor, codes=tuple(codes), best=best), pos
+
+
+def write_work_denied(out: bytearray, denial: WorkDenied) -> None:
+    """Append a denial: donor name and incumbent."""
+    write_string(out, denial.donor)
+    write_best_solution(out, denial.best)
+
+
+def read_work_denied(data, pos: int) -> Tuple[WorkDenied, int]:
+    """Read a work denial."""
+    donor, pos = read_string(data, pos)
+    best, pos = read_best_solution(data, pos)
+    return WorkDenied(donor=donor, best=best), pos
+
+
+# ---------------------------------------------------------------------- #
+# Membership gossip
+# ---------------------------------------------------------------------- #
+def write_view_digest(out: bytearray, digest: ViewDigest) -> None:
+    """Append a membership view digest: count, then (name, time, flag) rows."""
+    write_uvarint(out, len(digest))
+    for name, last_heard, is_server in digest:
+        write_string(out, name)
+        write_float64(out, last_heard)
+        write_bool(out, is_server)
+
+
+def read_view_digest(data, pos: int) -> Tuple[ViewDigest, int]:
+    """Read a view digest written by :func:`write_view_digest`."""
+    count, pos = read_uvarint(data, pos)
+    entries = []
+    for _ in range(count):
+        name, pos = read_string(data, pos)
+        last_heard, pos = read_float64(data, pos)
+        is_server, pos = read_bool(data, pos)
+        entries.append((name, last_heard, is_server))
+    return tuple(entries), pos
+
+
+def write_view_gossip(out: bytearray, gossip: ViewGossip) -> None:
+    """Append a pushed view: sender, then the digest."""
+    write_string(out, gossip.sender)
+    write_view_digest(out, gossip.digest)
+
+
+def read_view_gossip(data, pos: int) -> Tuple[ViewGossip, int]:
+    """Read a pushed view."""
+    sender, pos = read_string(data, pos)
+    digest, pos = read_view_digest(data, pos)
+    return ViewGossip(sender=sender, digest=digest), pos
+
+
+def write_join_announcement(out: bytearray, join: JoinAnnouncement) -> None:
+    """Append a join announcement: just the member name."""
+    write_string(out, join.member)
+
+
+def read_join_announcement(data, pos: int) -> Tuple[JoinAnnouncement, int]:
+    """Read a join announcement."""
+    member, pos = read_string(data, pos)
+    return JoinAnnouncement(member=member), pos
+
+
+# ---------------------------------------------------------------------- #
+# Message-wrapper bodies (same bytes as their payloads)
+# ---------------------------------------------------------------------- #
+def write_work_report_msg(out: bytearray, msg: WorkReportMsg) -> None:
+    """A report envelope is body-identical to its report."""
+    write_work_report(out, msg.report)
+
+
+def read_work_report_msg(data, pos: int) -> Tuple[WorkReportMsg, int]:
+    """Read a report envelope."""
+    report, pos = read_work_report(data, pos)
+    return WorkReportMsg(report), pos
+
+
+def write_table_gossip_msg(out: bytearray, msg: TableGossipMsg) -> None:
+    """A gossip envelope is body-identical to its snapshot."""
+    write_table_snapshot(out, msg.snapshot)
+
+
+def read_table_gossip_msg(data, pos: int) -> Tuple[TableGossipMsg, int]:
+    """Read a gossip envelope."""
+    snapshot, pos = read_table_snapshot(data, pos)
+    return TableGossipMsg(snapshot), pos

@@ -1,0 +1,238 @@
+"""Framed message registry: versioned headers over the body codecs.
+
+Frame layout (see ``docs/WIRE_FORMAT.md``)::
+
+    +-------+---------+-------------+------------------+--------------+
+    | magic | version | tag uvarint | body-len uvarint | body bytes   |
+    +-------+---------+-------------+------------------+--------------+
+
+* ``magic`` is the single byte ``0xB5``; anything else is rejected
+  immediately, so pickled or foreign traffic can never be mistaken for a
+  protocol frame.
+* ``version`` is the format generation.  Decoders accept exactly the
+  versions they know (currently only ``1``) and raise
+  :class:`UnsupportedVersionError` otherwise — a future version bump can
+  then ship a compatibility decoder without ambiguity about what the peer
+  meant.
+* ``tag`` identifies the message type (:class:`Tag`).
+* ``body-len`` is the exact body size in bytes.  A frame whose buffer is
+  shorter than the declared body is :class:`TruncatedFrameError`; a body
+  that decodes to fewer or more bytes than declared, or a frame with bytes
+  left over, is :class:`WireFormatError` — corruption is never silently
+  tolerated.
+
+The registry maps payload classes to ``(tag, writer)`` and tags to readers.
+Core protocol tags (1-15) are registered here; subsystems with their own
+transport-level messages (the ``realexec`` backend's envelope and worker
+outcome) extend the registry at import time through :func:`register` using
+tags from 16 up, keeping this package free of upward imports.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Tuple, Type
+
+from ..core.encoding import PathCode
+from ..core.work_report import BestSolution, CompletedTableSnapshot, WorkReport
+from ..distributed.messages import (
+    TableGossipMsg,
+    WorkDenied,
+    WorkGrant,
+    WorkReportMsg,
+    WorkRequest,
+)
+from ..gossip.gossip_server import JoinAnnouncement, ViewGossip
+from . import codec
+from .varint import read_uvarint, write_uvarint
+
+__all__ = [
+    "FRAME_MAGIC",
+    "FRAME_VERSION",
+    "Tag",
+    "WireFormatError",
+    "TruncatedFrameError",
+    "UnknownMessageTagError",
+    "UnsupportedVersionError",
+    "encode",
+    "decode",
+    "encoded_size",
+    "register",
+    "read_header",
+]
+
+#: First byte of every frame.
+FRAME_MAGIC = 0xB5
+#: Current wire-format generation.
+FRAME_VERSION = 1
+
+
+class WireFormatError(ValueError):
+    """A buffer is not a well-formed frame of a known message."""
+
+
+class TruncatedFrameError(WireFormatError):
+    """The buffer ends before the frame it declares is complete."""
+
+
+class UnknownMessageTagError(WireFormatError):
+    """The frame carries a tag no decoder is registered for."""
+
+
+class UnsupportedVersionError(WireFormatError):
+    """The frame was produced by a wire-format generation we cannot read."""
+
+
+class Tag(enum.IntEnum):
+    """Message-type tags.  Values are part of the wire contract: never reuse
+    or renumber a released tag; add new messages at the end."""
+
+    PATH_CODE = 1
+    BEST_SOLUTION = 2
+    WORK_REPORT = 3
+    TABLE_SNAPSHOT = 4
+    WORK_REQUEST = 5
+    WORK_GRANT = 6
+    WORK_DENIED = 7
+    WORK_REPORT_MSG = 8
+    TABLE_GOSSIP_MSG = 9
+    VIEW_DIGEST = 10
+    VIEW_GOSSIP = 11
+    JOIN_ANNOUNCEMENT = 12
+
+    #: First tag available to transport-level extensions (realexec).
+    EXTENSION_BASE = 16
+
+
+_Writer = Callable[[bytearray, object], None]
+_Reader = Callable[[object, int], Tuple[object, int]]
+
+_writers: Dict[Type, Tuple[int, _Writer]] = {}
+_readers: Dict[int, _Reader] = {}
+
+
+def register(tag: int, cls: Type, writer: _Writer, reader: _Reader) -> None:
+    """Register a message type with the frame codec.
+
+    ``writer(out, msg)`` appends the body; ``reader(data, pos)`` parses it
+    and returns ``(msg, new_pos)``.  Used below for the core protocol and by
+    the ``realexec`` transport for its extension messages.
+    """
+    tag = int(tag)
+    existing = _readers.get(tag)
+    if existing is not None and _writers.get(cls, (None,))[0] != tag:
+        raise ValueError(f"wire tag {tag} is already registered")
+    _writers[cls] = (tag, writer)
+    _readers[tag] = reader
+
+
+for _tag, _cls, _writer, _reader in (
+    (Tag.PATH_CODE, PathCode, codec.write_path_code, codec.read_path_code),
+    (Tag.BEST_SOLUTION, BestSolution, codec.write_best_solution, codec.read_best_solution),
+    (Tag.WORK_REPORT, WorkReport, codec.write_work_report, codec.read_work_report),
+    (
+        Tag.TABLE_SNAPSHOT,
+        CompletedTableSnapshot,
+        codec.write_table_snapshot,
+        codec.read_table_snapshot,
+    ),
+    (Tag.WORK_REQUEST, WorkRequest, codec.write_work_request, codec.read_work_request),
+    (Tag.WORK_GRANT, WorkGrant, codec.write_work_grant, codec.read_work_grant),
+    (Tag.WORK_DENIED, WorkDenied, codec.write_work_denied, codec.read_work_denied),
+    (Tag.WORK_REPORT_MSG, WorkReportMsg, codec.write_work_report_msg, codec.read_work_report_msg),
+    (
+        Tag.TABLE_GOSSIP_MSG,
+        TableGossipMsg,
+        codec.write_table_gossip_msg,
+        codec.read_table_gossip_msg,
+    ),
+    # Bare membership digests are plain tuples; ``encode`` special-cases the
+    # ``tuple`` type to this tag.
+    (Tag.VIEW_DIGEST, tuple, codec.write_view_digest, codec.read_view_digest),
+    (Tag.VIEW_GOSSIP, ViewGossip, codec.write_view_gossip, codec.read_view_gossip),
+    (
+        Tag.JOIN_ANNOUNCEMENT,
+        JoinAnnouncement,
+        codec.write_join_announcement,
+        codec.read_join_announcement,
+    ),
+):
+    register(_tag, _cls, _writer, _reader)
+
+
+# ---------------------------------------------------------------------- #
+# Encoding
+# ---------------------------------------------------------------------- #
+def encode(msg: object) -> bytes:
+    """Encode any registered protocol message into one framed byte string."""
+    entry = _writers.get(type(msg))
+    if entry is None:
+        # Exact-type lookup misses subclasses (and ViewDigest is any tuple
+        # shape-compatible instance); fall back to an isinstance scan.
+        for cls, candidate in _writers.items():
+            if isinstance(msg, cls):
+                entry = candidate
+                break
+        if entry is None:
+            raise WireFormatError(f"no wire codec registered for {type(msg).__name__}")
+    tag, writer = entry
+    body = bytearray()
+    writer(body, msg)
+    out = bytearray((FRAME_MAGIC, FRAME_VERSION))
+    write_uvarint(out, tag)
+    write_uvarint(out, len(body))
+    out += body
+    return bytes(out)
+
+
+def encoded_size(msg: object) -> int:
+    """Exact framed size of ``msg`` in bytes (what :func:`encode` produces)."""
+    return len(encode(msg))
+
+
+# ---------------------------------------------------------------------- #
+# Decoding
+# ---------------------------------------------------------------------- #
+def read_header(data) -> Tuple[int, int, int, int]:
+    """Validate the frame header; returns ``(version, tag, body_start, body_len)``."""
+    if len(data) == 0:
+        raise TruncatedFrameError("empty buffer")
+    if data[0] != FRAME_MAGIC:
+        raise WireFormatError(f"bad frame magic 0x{data[0]:02x} (expected 0x{FRAME_MAGIC:02x})")
+    if len(data) < 2:
+        raise TruncatedFrameError("frame ends inside the header")
+    version = data[1]
+    if version != FRAME_VERSION:
+        raise UnsupportedVersionError(f"unsupported wire-format version {version}")
+    try:
+        tag, pos = read_uvarint(data, 2)
+        body_len, pos = read_uvarint(data, pos)
+    except ValueError as exc:
+        raise TruncatedFrameError(f"frame ends inside the header: {exc}") from exc
+    if pos + body_len > len(data):
+        raise TruncatedFrameError(
+            f"frame declares {body_len} body bytes but only {len(data) - pos} remain"
+        )
+    return version, tag, pos, body_len
+
+
+def decode(data) -> object:
+    """Decode one framed message; the buffer must contain exactly one frame."""
+    _version, tag, body_start, body_len = read_header(data)
+    body_end = body_start + body_len
+    if body_end != len(data):
+        raise WireFormatError(f"{len(data) - body_end} trailing bytes after frame")
+    reader = _readers.get(tag)
+    if reader is None:
+        raise UnknownMessageTagError(f"unknown message tag {tag}")
+    try:
+        msg, pos = reader(data, body_start)
+    except WireFormatError:
+        raise
+    except ValueError as exc:
+        raise WireFormatError(f"corrupt {Tag(tag).name if tag in Tag._value2member_map_ else tag} body: {exc}") from exc
+    if pos != body_end:
+        raise WireFormatError(
+            f"message body consumed {pos - body_start} bytes but frame declared {body_len}"
+        )
+    return msg

@@ -119,6 +119,66 @@ class TestSubproblemPool:
         assert len(pool) == 0
 
 
+class TestLazyDonation:
+    """The tombstone scheme must be invisible to every pool consumer."""
+
+    def test_donated_entries_invisible_everywhere(self):
+        pool = SubproblemPool(SelectionRule.BREADTH_FIRST)
+        for depth in range(1, 7):
+            pool.push(make_sub(depth))
+        donated = pool.take_for_donation(max_count=2, keep_at_least=1)
+        assert sorted(sub.depth for sub in donated) == [1, 2]
+        assert pool.lazy_removed_total == 2
+        assert len(pool) == 4
+        assert sorted(sub.depth for sub in pool) == [3, 4, 5, 6]
+        assert sorted(code.depth for code in pool.codes()) == [3, 4, 5, 6]
+        # peek/pop must skip the tombstoned shallow entries.
+        assert pool.peek().depth == 3
+        assert [pool.pop().depth for _ in range(4)] == [3, 4, 5, 6]
+        assert not pool
+        with pytest.raises(IndexError):
+            pool.pop()
+
+    def test_drain_excludes_donated(self):
+        pool = SubproblemPool()
+        for depth in range(1, 5):
+            pool.push(make_sub(depth))
+        pool.take_for_donation(max_count=2, keep_at_least=1)
+        assert sorted(sub.depth for sub in pool.drain()) == [3, 4]
+        assert len(pool) == 0
+
+    def test_storage_bytes_excludes_donated(self):
+        pool = SubproblemPool()
+        for depth in range(1, 5):
+            pool.push(make_sub(depth))
+        before = pool.storage_bytes()
+        donated = pool.take_for_donation(max_count=2, keep_at_least=1)
+        freed = sum(sub.code.wire_size() for sub in donated)
+        assert pool.storage_bytes() == before - freed
+
+    def test_repeated_donations_trigger_compaction(self):
+        pool = SubproblemPool()
+        for depth in range(1, 101):
+            pool.push(make_sub(depth))
+        total_donated = 0
+        while pool.can_donate(keep_at_least=10):
+            total_donated += len(pool.take_for_donation(max_count=7, keep_at_least=10))
+        assert len(pool) == 10
+        assert total_donated == 90
+        assert pool.lazy_removed_total == 90
+        assert pool.compactions >= 1
+        # Everything left must still pop in rule order (deepest first).
+        assert [pool.pop().depth for _ in range(10)] == list(range(100, 90, -1))
+
+    def test_push_after_donation_keeps_order(self):
+        pool = SubproblemPool()
+        for depth in (2, 4, 6):
+            pool.push(make_sub(depth))
+        pool.take_for_donation(max_count=1, keep_at_least=1)  # takes depth 2
+        pool.push(make_sub(5))
+        assert [pool.pop().depth for _ in range(3)] == [6, 5, 4]
+
+
 class TestNodeExpanderAndSolver:
     def test_expander_counts_nodes(self):
         problem = random_knapsack(6, seed=1)

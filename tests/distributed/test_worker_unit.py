@@ -178,3 +178,41 @@ class TestWorkerLifecycle:
         engine.run(stop_when=lambda: w0.terminated)
         assert w0.terminated
         assert w0.incumbent.value == pytest.approx(tree.optimal_value())
+
+
+class TestStepFastPath:
+    def test_fast_path_taken_on_quiet_steps(self):
+        # A high report threshold and no staleness/gossip timers means most
+        # steps have an empty inbox and nothing due: the fast path must fire.
+        engine, network, problem, tree, (w0, w1) = make_worker_pair(
+            report_threshold=1000,
+            report_staleness=None,
+            table_gossip_interval=None,
+        )
+        w0.on_start()
+        w1.on_start()
+        engine.run(stop_when=lambda: all(w.terminated for w in (w0, w1)))
+        assert w0.stats.fast_path_steps > 0
+        assert "fast_path_steps" in w0.stats.as_dict()
+
+    def test_fast_path_does_not_starve_reports(self):
+        # With reporting enabled, quiet steps may skip the machinery but the
+        # run must still exchange reports and terminate correctly.
+        engine, network, problem, tree, (w0, w1) = make_worker_pair()
+        w0.on_start()
+        w1.on_start()
+        engine.run(stop_when=lambda: all(w.terminated for w in (w0, w1)))
+        assert w0.terminated and w1.terminated
+        assert w0.stats.reports_sent > 0
+        assert w0.incumbent.value == pytest.approx(tree.optimal_value())
+
+    def test_report_work_due_mirrors_report_triggers(self):
+        engine, network, problem, tree, (w0, w1) = make_worker_pair(
+            report_threshold=2, table_gossip_interval=None
+        )
+        w0.on_start()
+        assert not w0._report_work_due(0.0)
+        w0.tracker.record_completed(ROOT.child(0, 0), now=0.0)
+        assert not w0._report_work_due(0.0)  # below threshold, no staleness
+        w0.tracker.record_completed(ROOT.child(0, 1), now=0.0)
+        assert w0._report_work_due(0.0)  # threshold reached

@@ -1,12 +1,25 @@
 """Tests for the real multiprocessing execution backend."""
 
 import sys
+import time
 
 import pytest
 
 from repro.bnb.random_tree import RandomTreeSpec, generate_random_tree
+from repro.core.work_report import BestSolution
+from repro.distributed.messages import WorkRequest
 from repro.realexec.driver import LocalCluster, run_local_cluster
-from repro.realexec.transport import Envelope, PipeRouter
+from repro.realexec.node import WorkerOutcome
+from repro.realexec.transport import (
+    Envelope,
+    PipeRouter,
+    decode_envelope,
+    encode_envelope,
+    envelope_route,
+    recv_envelope,
+    send_envelope,
+)
+from repro.wire import WireFormatError
 
 
 @pytest.fixture(scope="module")
@@ -16,6 +29,36 @@ def small_tree():
     )
 
 
+def _wait_for(predicate, timeout=2.0):
+    deadline = time.monotonic() + timeout
+    while not predicate() and time.monotonic() < deadline:
+        time.sleep(0.01)
+
+
+class TestEnvelopeCodec:
+    def test_envelope_round_trip(self):
+        envelope = Envelope("a", "b", WorkRequest(requester="a", best=BestSolution(1.5, "a")))
+        assert decode_envelope(encode_envelope(envelope)) == envelope
+
+    def test_envelope_route_reads_header_only(self):
+        frame = encode_envelope(Envelope("src", "dst", WorkRequest(requester="src")))
+        assert envelope_route(frame) == ("src", "dst")
+
+    def test_worker_outcome_round_trip(self):
+        outcome = WorkerOutcome(
+            name="w", terminated=True, best_value=-3.5,
+            nodes_expanded=17, reports_sent=4, recoveries=1,
+        )
+        envelope = Envelope("w", "__driver__", outcome)
+        assert decode_envelope(encode_envelope(envelope)).payload == outcome
+
+    def test_non_envelope_frame_rejected(self):
+        from repro import wire
+
+        with pytest.raises(WireFormatError):
+            decode_envelope(wire.encode(WorkRequest(requester="a")))
+
+
 class TestPipeRouter:
     def test_routing_between_workers(self):
         router = PipeRouter()
@@ -23,29 +66,89 @@ class TestPipeRouter:
         end_b = router.add_worker("b")
         router.start()
         try:
-            end_a.send(Envelope("a", "b", "hello"))
+            request = WorkRequest(requester="a", best=BestSolution(2.0, "a"))
+            send_envelope(end_a, Envelope("a", "b", request))
             assert end_b.poll(2.0)
-            envelope = end_b.recv()
-            assert envelope.payload == "hello"
+            envelope = recv_envelope(end_b)
+            assert envelope.payload == request
             assert envelope.sender == "a"
         finally:
             router.stop()
         assert router.forwarded == 1
+
+    def test_per_link_byte_counters(self):
+        router = PipeRouter()
+        end_a = router.add_worker("a")
+        end_b = router.add_worker("b")
+        router.start()
+        try:
+            frame = encode_envelope(Envelope("a", "b", WorkRequest(requester="a")))
+            end_a.send_bytes(frame)
+            end_a.send_bytes(frame)
+            _wait_for(lambda: router.forwarded == 2)
+        finally:
+            router.stop()
+        assert router.forwarded == 2
+        assert router.bytes_forwarded == 2 * len(frame)
+        assert router.link_bytes[("a", "b")] == 2 * len(frame)
+        assert router.link_messages[("a", "b")] == 2
 
     def test_unknown_destination_dropped(self):
         router = PipeRouter()
         end_a = router.add_worker("a")
         router.start()
         try:
-            end_a.send(Envelope("a", "ghost", "lost"))
-            import time
-
-            deadline = time.monotonic() + 2.0
-            while router.dropped == 0 and time.monotonic() < deadline:
-                time.sleep(0.01)
+            send_envelope(end_a, Envelope("a", "ghost", WorkRequest(requester="a")))
+            _wait_for(lambda: router.dropped > 0)
         finally:
             router.stop()
         assert router.dropped == 1
+
+    def test_corrupt_routing_header_survivable(self):
+        # A frame whose *header* parses but whose sender-length varint points
+        # past the body must be dropped like any other corruption — and the
+        # router thread must survive to forward later traffic (regression:
+        # this used to leak a bare ValueError and kill the thread).
+        from repro.realexec.transport import ENVELOPE_TAG
+        from repro.wire.frame import FRAME_MAGIC
+        from repro.wire.varint import write_uvarint
+
+        evil = bytearray((FRAME_MAGIC, 1))
+        write_uvarint(evil, ENVELOPE_TAG)
+        write_uvarint(evil, 1)  # body: a single byte...
+        evil.append(0x7F)  # ...claiming a 127-byte sender name follows
+        with pytest.raises(WireFormatError):
+            envelope_route(bytes(evil))
+
+        router = PipeRouter()
+        end_a = router.add_worker("a")
+        end_b = router.add_worker("b")
+        router.start()
+        try:
+            end_a.send_bytes(bytes(evil))
+            _wait_for(lambda: router.dropped >= 1)
+            send_envelope(end_a, Envelope("a", "b", WorkRequest(requester="a")))
+            _wait_for(lambda: router.forwarded >= 1)
+        finally:
+            router.stop()
+        assert router.dropped == 1
+        assert router.forwarded == 1
+        assert router.link_messages[("a", "b")] == 1
+
+    def test_malformed_frame_dropped(self):
+        router = PipeRouter()
+        end_a = router.add_worker("a")
+        router.add_worker("b")
+        router.start()
+        try:
+            end_a.send_bytes(b"\x00not a frame")
+            truncated = encode_envelope(Envelope("a", "b", WorkRequest(requester="a")))[:5]
+            end_a.send_bytes(truncated)
+            _wait_for(lambda: router.dropped >= 2)
+        finally:
+            router.stop()
+        assert router.dropped == 2
+        assert router.forwarded == 0
 
     def test_duplicate_worker_rejected(self):
         router = PipeRouter()
