@@ -12,25 +12,31 @@ down by default and reports the effective size.  Environment variables:
 * ``REPRO_FULL_SCALE=1`` — run every experiment at the paper's full size
   (slow; expect tens of minutes).
 
-Performance-regression workflow (core-micro trajectory)
--------------------------------------------------------
-``bench_core_micro.py`` is additionally tracked against a checked-in
+Performance-regression workflow (tracked trajectory)
+----------------------------------------------------
+``bench_core_micro.py``, ``bench_wire_codec.py`` and
+``bench_delta_gossip.py`` (the tuple ``BENCH_FILES`` in
+``compare_baseline.py``) are additionally tracked against a checked-in
 baseline so PRs touching the hot paths can show their effect:
 
 1. ``BENCH_BASELINE.json`` holds the trimmed statistics of a
-   ``pytest-benchmark`` run of ``bench_core_micro.py`` on the reference
+   ``pytest-benchmark`` run of the tracked files on the reference
    implementation (originally the repo seed, recorded via a git worktree of
-   the seed commit so baseline and current share benchmark definitions).
+   the seed commit so baseline and current share benchmark definitions;
+   re-anchored since as optimizations merged).
 2. ``PYTHONPATH=src python benchmarks/compare_baseline.py`` re-runs the
-   micro benchmarks on the working tree and prints the per-benchmark
+   tracked benchmarks on the working tree and prints the per-benchmark
    speedup; it exits non-zero when anything regressed beyond 1.25×
    (``--threshold`` to adjust), so it can gate CI.
-3. After an intentional workload or naming change in
-   ``bench_core_micro.py`` — or to move the reference point to a newly
-   merged optimization — re-record with
+3. After an intentional workload or naming change in a tracked file — or to
+   move the reference point to a newly merged optimization — re-record with
    ``python benchmarks/compare_baseline.py --update --note '<provenance>'``.
    Record baseline and candidate in the same session where possible;
    absolute times drift with machine load, ratios are the signal.
+4. When the tracked-benchmark *set* changes (a file or benchmark added,
+   renamed or removed), update ``BENCH_FILES`` and the benchmark list in
+   ``docs/ARCHITECTURE.md`` — the gate prints exactly these locations when
+   it detects drift between the baseline and the current run.
 """
 
 import os

@@ -36,7 +36,24 @@ from pathlib import Path
 HERE = Path(__file__).resolve().parent
 BASELINE_PATH = HERE / "BENCH_BASELINE.json"
 #: Benchmark files tracked against the baseline.
-BENCH_FILES = (HERE / "bench_core_micro.py", HERE / "bench_wire_codec.py")
+BENCH_FILES = (
+    HERE / "bench_core_micro.py",
+    HERE / "bench_wire_codec.py",
+    HERE / "bench_delta_gossip.py",
+)
+
+#: Where the tracked-benchmark set is documented.  When a tracked benchmark
+#: is added, renamed or removed, these are the places that must follow —
+#: the gate prints them so the drift cannot go unnoticed.
+TRACKED_SPECS = (
+    "benchmarks/_harness.py (performance-regression workflow notes)",
+    "docs/ARCHITECTURE.md, section 'Benchmarks and the regression gate'",
+)
+
+
+def _spec_hint(action: str) -> str:
+    """One-line pointer printed when the tracked-benchmark set drifts."""
+    return f"    -> {action}, then update: " + "; ".join(TRACKED_SPECS)
 
 #: Statistics copied from the pytest-benchmark JSON into the trimmed baseline.
 _KEPT_STATS = ("min", "max", "mean", "median", "stddev", "rounds")
@@ -109,7 +126,20 @@ def compare(baseline: dict, current: dict, threshold: float) -> int:
                 # A tracked benchmark that vanished (renamed/deleted without
                 # re-recording) silently loses regression coverage: fail the
                 # gate.  Missing from *baseline* is fine — a new benchmark.
+                print(
+                    _spec_hint(
+                        "restore the benchmark, or re-record the baseline "
+                        "with --update if the removal/rename is intentional"
+                    )
+                )
                 regressions += 1
+            else:
+                print(
+                    _spec_hint(
+                        "new benchmark: record it with --update "
+                        "(on the reference commit)"
+                    )
+                )
             continue
         base_t = base["stats"]["median"]
         cur_t = cur["stats"]["median"]

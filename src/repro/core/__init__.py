@@ -31,15 +31,17 @@ from .complement import (
     minimal_complement,
     select_recovery_candidate,
 )
-from .completion import CompletionTracker
+from .completion import CompletionTracker, PeerGossipView
 from .encoding import ROOT, Branch, PathCode, common_prefix_length
 from .recovery import RecoveryDecision, RecoveryPolicy, RecoveryStats
 from .termination import TerminationDetector, is_root_report, make_root_report
 from .work_report import (
     BestSolution,
     CompletedTableSnapshot,
+    DeltaSnapshot,
     WorkReport,
     compress_report_codes,
+    table_digest,
 )
 
 __all__ = [
@@ -58,6 +60,7 @@ __all__ = [
     "minimal_complement",
     "select_recovery_candidate",
     "CompletionTracker",
+    "PeerGossipView",
     "RecoveryPolicy",
     "RecoveryStats",
     "RecoveryDecision",
@@ -67,5 +70,7 @@ __all__ = [
     "BestSolution",
     "WorkReport",
     "CompletedTableSnapshot",
+    "DeltaSnapshot",
     "compress_report_codes",
+    "table_digest",
 ]

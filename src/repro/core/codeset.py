@@ -66,6 +66,22 @@ property-based equivalence tests against :func:`contract_reference`):
 * **Trie-to-trie merge** — :meth:`merge` walks the other set's trie directly
   and inserts raw pair tuples shallow-first, skipping `PathCode`
   construction and re-contraction of the (already contracted) input.
+* **Incremental missing frontier** — the set of uncovered sibling subtrees
+  (the paper's *complement*, :meth:`missing_frontier`) is maintained as
+  codes are inserted and contracted, in O(changed) amortised per mutation:
+  an insertion touches at most one frontier entry per created trie level,
+  and a subsumption or merge cascade prunes exactly the frontier entries of
+  the dying subtree while it is being walked for the size counters anyway.
+  Maintenance is *dormant until the first complement query* (one activation
+  walk), so sets that are never complemented — outgoing report compression,
+  received-snapshot staging — pay nothing.  Queries between mutations are
+  O(1) reads of a memoised frozenset, so a recovery decision no longer
+  re-walks the whole trie.  :meth:`missing_frontier_reference` keeps the
+  from-scratch walk as the property-test oracle.
+* **Cached frozen view** — :meth:`frozen_view` returns a structural copy of
+  the trie, memoised until the next mutation, so table-gossip snapshots can
+  ship the contracted trie itself and receivers can merge trie-to-trie (or
+  adopt the copy outright) instead of re-adding code by code.
 """
 
 from __future__ import annotations
@@ -101,6 +117,9 @@ def _keys_to_pairs(keys: Iterable[int]) -> Tuple[Branch, ...]:
 
 #: Upper bound on memoised coverage queries per set (reset on mutation).
 _COVERS_CACHE_MAX = 8192
+
+#: Shared frontier view of an empty set: the whole tree is missing.
+_ROOT_FRONTIER = frozenset({ROOT})
 
 
 def covers(codes: Iterable[PathCode], target: PathCode) -> bool:
@@ -194,6 +213,38 @@ def _completed_stats(children: _TrieDict) -> Tuple[int, int]:
     return total, depth_sum
 
 
+def _drop_subtree_frontier(
+    children: _TrieDict, base: Tuple[int, ...], frontier: set
+) -> Tuple[int, int]:
+    """Collect :func:`_completed_stats` of a dying subtree while pruning its
+    missing-frontier entries.
+
+    ``children`` is the trie dict rooted at key path ``base`` that is about
+    to be replaced by a completed leaf (subsumption or sibling merge).  Every
+    frontier entry inside the subtree is, by the frontier invariant, the
+    absent sibling of one of its edges, so one walk discards them all and
+    returns the same ``(count, sum_of_relative_depths)`` aggregate as
+    :func:`_completed_stats` — the caller pays a single traversal for both
+    jobs, keeping frontier maintenance O(size of the removed subtree).
+    """
+    total = 0
+    depth_sum = 0
+    base_len = len(base)
+    stack = [(children, base)]
+    while stack:
+        node, path = stack.pop()
+        rel = len(path) - base_len + 1
+        for key, value in node.items():
+            if (key ^ 1) not in node:
+                frontier.discard(path + (key ^ 1,))
+            if value is True:
+                total += 1
+                depth_sum += rel
+            else:
+                stack.append((value, path + (key,)))
+    return total, depth_sum
+
+
 class CodeSet:
     """A contracted set of completed subproblem codes.
 
@@ -217,6 +268,9 @@ class CodeSet:
         "_max_depth_dirty",
         "_codes_cache",
         "_covers_cache",
+        "_frontier",
+        "_frontier_cache",
+        "_frozen_cache",
         "_chain",
         "_last_keys",
         "_last_valid",
@@ -240,6 +294,18 @@ class CodeSet:
         self._codes_cache: Optional[frozenset] = None
         #: Memoised coverage-query results (reset on every logical change).
         self._covers_cache: Dict[PathCode, bool] = {}
+        #: Incrementally maintained missing frontier, as raw packed-key paths
+        #: (see :meth:`missing_frontier`).  Invariant while not ``None``: for
+        #: every edge ``(dict, key)`` present in the trie whose sibling key
+        #: is absent from the same dict, the sibling's key path is in this
+        #: set — and nothing else is.  ``None`` means maintenance is dormant:
+        #: it activates on the first frontier query (one trie walk) so pure
+        #: insertion/merge workloads that never complement pay nothing.
+        self._frontier: Optional[set] = None
+        #: Memoised PathCode view of ``_frontier`` (None = stale).
+        self._frontier_cache: Optional[frozenset] = None
+        #: Memoised structural copy handed out by :meth:`frozen_view`.
+        self._frozen_cache: Optional["CodeSet"] = None
         #: Persistent walk chain: ``_chain[i]`` is the interior dict at depth
         #: ``i`` along the most recent insertion path (``_chain[0]`` is
         #: always the root dict).  B&B workers complete subproblems in
@@ -457,11 +523,29 @@ class CodeSet:
 
         stats.insertions += 1
         self._codes_cache = None
+        self._frontier_cache = None
+        self._frozen_cache = None
         if self._covers_cache:
             self._covers_cache = {}
         created = n - idx
+        frontier = self._frontier
 
         if created:
+            if frontier is not None:
+                # Frontier maintenance at the first created level: the edge
+                # ``keys[idx]`` is about to appear in the existing dict
+                # ``node``.  If its sibling edge already exists, the inserted
+                # path itself was a frontier entry and stops being missing;
+                # otherwise the sibling subtree becomes the new missing
+                # entry.  Every deeper created level is a fresh single-entry
+                # dict, so its sibling is missing by construction.
+                sib = keys[idx] ^ 1
+                if sib in node:
+                    frontier.discard(keys[: idx + 1])
+                else:
+                    frontier.add(keys[:idx] + (sib,))
+                for level in range(idx + 1, n):
+                    frontier.add(keys[:level] + (keys[level] ^ 1,))
             # Phase 2: the code is not covered; create the missing suffix.
             # A freshly created interior dict has exactly one entry, so when
             # two or more levels are created no sibling merge can possibly
@@ -484,8 +568,13 @@ class CodeSet:
         else:
             # The code's node already existed as an interior dict (every
             # interior dict leads to at least one completed leaf): the new
-            # code subsumes everything below it.
-            removed, rel_depth_sum = _completed_stats(node)
+            # code subsumes everything below it.  The dying subtree is walked
+            # once, yielding the size aggregate and (when frontier
+            # maintenance is active) pruning its frontier entries together.
+            if frontier is None:
+                removed, rel_depth_sum = _completed_stats(node)
+            else:
+                removed, rel_depth_sum = _drop_subtree_frontier(node, keys, frontier)
             stats.subsumptions += removed
             self._count -= removed
             self._wire -= removed * _CODE_HEADER_BYTES + _PAIR_WIRE_BYTES * (
@@ -497,6 +586,7 @@ class CodeSet:
                 root: _TrieDict = {}
                 self._root = root
                 chain[0] = root
+                self._frontier = None
                 self._last_keys = ()
                 self._last_valid = 1
                 self._count += 1
@@ -523,13 +613,19 @@ class CodeSet:
             # parent cannot have other completed descendants because it has
             # exactly these two children subtrees in a binary tree encoding.
             # In the overwhelmingly common case it holds exactly the two
-            # completed leaves, so the aggregate is known without a
-            # traversal.
+            # completed leaves (no frontier entries can live between a
+            # present sibling pair), so the aggregate is known without a
+            # traversal; otherwise the dying dict is walked once for the
+            # aggregate and its frontier entries together.
             if len(parent) == 2:
                 removed = 2
                 rel_depth_sum = 2
-            else:
+            elif frontier is None:
                 removed, rel_depth_sum = _completed_stats(parent)
+            else:
+                removed, rel_depth_sum = _drop_subtree_frontier(
+                    parent, keys[:i], frontier
+                )
             self._count += 1 - removed
             self._wire += _CODE_HEADER_BYTES + _PAIR_WIRE_BYTES * i - (
                 removed * _CODE_HEADER_BYTES
@@ -542,6 +638,7 @@ class CodeSet:
                 root = {}
                 self._root = root
                 chain[0] = root
+                self._frontier = None
                 self._last_keys = ()
                 self._last_valid = 1
                 return True
@@ -594,6 +691,9 @@ class CodeSet:
         self._max_depth_dirty = False
         self._codes_cache = None
         self._covers_cache = {}
+        self._frontier = None
+        self._frontier_cache = None
+        self._frozen_cache = None
         self._chain = [self._root]
         self._last_keys = ()
         self._last_valid = 1
@@ -620,24 +720,119 @@ class CodeSet:
         clone._max_depth = self._max_depth
         clone._max_depth_dirty = self._max_depth_dirty
         clone._codes_cache = self._codes_cache
+        clone._frontier = None if self._frontier is None else set(self._frontier)
+        clone._frontier_cache = self._frontier_cache
         # The covers memo is deliberately not shared: the clone is typically
         # about to diverge from the original.
         return clone
 
+    def frozen_view(self) -> "CodeSet":
+        """A structural copy of this set, memoised until the next mutation.
+
+        Table-gossip snapshots attach this view so receivers can merge
+        trie-to-trie (:meth:`merge`) or, when their own table is still empty,
+        adopt it outright (:meth:`adopt_from`) instead of re-adding the
+        sender's table code by code.  Because the view is refreshed lazily,
+        repeated snapshotting of an unchanged table reuses one copy.
+
+        The returned set is *logically frozen*: the owner never mutates it,
+        and receivers must only read it (merge sources are read-only).
+        """
+        view = self._frozen_cache
+        if view is None:
+            view = self.copy()
+            self._frozen_cache = view
+        return view
+
+    def adopt_from(self, other: "CodeSet", codes: Optional[frozenset] = None) -> bool:
+        """Become a structural copy of ``other``; this set must be empty.
+
+        This is the fast path for a receiver whose table is still blank (a
+        fresh joiner catching up from a snapshot): one structural clone
+        replaces ``len(other)`` individual insertions, and when the sender's
+        contracted ``codes`` frozenset is supplied it is *shared* as this
+        set's memoised :meth:`codes` view — no recomputation, no re-hashing.
+
+        Returns ``True`` when anything was adopted (i.e. ``other`` was not
+        itself empty).  Raises :class:`ValueError` when this set already has
+        content — callers must fall back to :meth:`merge`.
+        """
+        if self._count or self._complete:
+            raise ValueError("adopt_from requires an empty CodeSet")
+        if not other._count and not other._complete:
+            return False
+        donor = other.copy()
+        self._root = donor._root
+        self._complete = donor._complete
+        self._count = donor._count
+        self._wire = donor._wire
+        self._max_depth = donor._max_depth
+        self._max_depth_dirty = donor._max_depth_dirty
+        self._codes_cache = codes if codes is not None else donor._codes_cache
+        self._covers_cache = {}
+        self._frontier = donor._frontier
+        self._frontier_cache = donor._frontier_cache
+        self._frozen_cache = None
+        self._chain = [self._root]
+        self._last_keys = ()
+        self._last_valid = 1
+        return True
+
     # ------------------------------------------------------------------ #
     # Derived views
     # ------------------------------------------------------------------ #
-    def missing_frontier(self) -> Set[PathCode]:
+    def missing_frontier(self) -> frozenset:
         """Minimal set of subtree codes *not* covered by this set.
 
         The returned codes are pairwise disjoint, none is covered, and
         together with the completed set they cover the whole tree: this is the
-        paper's *complement* operation.  It is computed by walking the trie:
-        wherever a path explores one branch of a decision but the sibling
-        branch is absent, that sibling subtree is missing.
+        paper's *complement* operation.  A subtree is missing exactly where a
+        path explores one branch of a decision but the sibling branch is
+        absent.
+
+        The frontier is maintained *incrementally*: the first query activates
+        maintenance with one trie walk, and from then on every mutation
+        updates the frontier in O(changed) amortised (see the module
+        docstring) — sets that are never complemented (report compression,
+        snapshot merging) pay nothing.  Between mutations the query is an
+        O(1) read of a memoised frozenset; after a mutation it pays one
+        conversion of the raw key paths into :class:`PathCode` objects.  The
+        from-scratch walk survives as :meth:`missing_frontier_reference`, the
+        property-test oracle.
 
         For an empty set the whole tree is missing (``{ROOT}``); for a
-        complete set the frontier is empty.
+        complete set the frontier is empty.  The returned frozenset is shared
+        between calls — treat it as immutable.
+        """
+        if self._complete:
+            return frozenset()
+        if self._count == 0:
+            return _ROOT_FRONTIER
+        cache = self._frontier_cache
+        if cache is None:
+            frontier = self._frontier
+            if frontier is None:
+                # First complement query: activate incremental maintenance.
+                frontier = set()
+                stack: List[Tuple[_TrieDict, Tuple[int, ...]]] = [(self._root, ())]
+                while stack:
+                    node, path = stack.pop()
+                    for key, child in node.items():
+                        if (key ^ 1) not in node:
+                            frontier.add(path + (key ^ 1,))
+                        if child is not True:
+                            stack.append((child, path + (key,)))
+                self._frontier = frontier
+            make = PathCode._make
+            cache = frozenset(make(_keys_to_pairs(path)) for path in frontier)
+            self._frontier_cache = cache
+        return cache
+
+    def missing_frontier_reference(self) -> Set[PathCode]:
+        """Recompute the missing frontier by walking the whole trie.
+
+        This is the original from-scratch implementation, kept as the oracle
+        the property-based tests pin :meth:`missing_frontier` against.
         """
         if self._complete:
             return set()

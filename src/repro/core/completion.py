@@ -14,6 +14,23 @@ reports into the table with contraction, and exposes the two queries the rest
 of the algorithm needs: "is the whole tree complete?" (termination) and "what
 is still missing?" (recovery, via :mod:`repro.core.complement`).
 
+Table dissemination comes in two flavours:
+
+* **whole-table snapshots** (:meth:`CompletionTracker.build_table_snapshot`)
+  — the paper's occasional full-table push.  Merging one uses the trie view
+  attached by the sender when the snapshot never crossed a process boundary:
+  an empty receiving table *adopts* the sender's contracted trie wholesale
+  (sharing its memoised ``codes()`` frozenset), and a non-empty one merges
+  trie-to-trie with raw packed keys instead of re-adding ``PathCode`` objects
+  one by one; and
+* **delta gossip** (:meth:`CompletionTracker.build_delta_snapshot`) — the
+  anti-entropy refinement: the tracker remembers, per peer, the last table
+  state that peer acknowledged (:class:`PeerGossipView`) and ships only the
+  codes the acknowledged basis does not cover.  Acknowledgements
+  (:meth:`CompletionTracker.note_snapshot_ack`) echo the table digest from
+  the delta; an unacknowledged delta is simply re-shipped by the next one,
+  so arbitrary loss, duplication and reordering cannot prevent convergence.
+
 A subtlety worth spelling out: the paper distinguishes *solved* (the branching
 operation has been performed) from *completed* (solved and either a leaf or
 both children completed).  The tracker works purely at the *completed* level;
@@ -26,18 +43,111 @@ when both of their subtrees have.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Set
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from .codeset import CodeSet
+from .codeset import CodeSet, covers as _covers
 from .complement import SelectionStrategy, complement_frontier, select_recovery_candidate
-from .encoding import PathCode
-from .work_report import BestSolution, CompletedTableSnapshot, WorkReport
+from .encoding import _CODE_HEADER_BYTES, _PAIR_WIRE_BYTES, PathCode
+from .work_report import (
+    BestSolution,
+    CompletedTableSnapshot,
+    DeltaSnapshot,
+    WorkReport,
+    table_digest,
+)
 
-__all__ = ["CompletionTracker"]
+__all__ = ["CompletionTracker", "PeerGossipView"]
+
+#: Upper bound on remembered unacknowledged delta sends per peer.  Each entry
+#: is one reference to an already-memoised ``codes()`` frozenset, so the cap
+#: only bounds pathological ack starvation, not real memory.
+_PENDING_SENDS_MAX = 8
+
+
+class PeerGossipView:
+    """What one peer is *known* to cover, from the sender's point of view.
+
+    The view accumulates certain knowledge about the peer's completed-code
+    table from two loss-proof channels:
+
+    * **acknowledgements** — the peer echoed the digest of a delta we sent;
+      the full table state recorded for that send (kept in :attr:`pending`
+      until acked, so out-of-order acks still match) is merged into
+      :attr:`known`; and
+    * **the reverse channel** — every work report, snapshot or delta the
+      peer itself sent us proves the peer covers those codes
+      (:meth:`note_covers`), so steady-state deltas shrink even between
+      rarely-gossiping pairs.
+
+    Nothing is ever assumed from an *outgoing* message alone: a delta the
+    network dropped is never marked delivered, and its codes simply ride
+    along on every subsequent delta until one is acknowledged.  ``known``
+    therefore never overstates the peer — the invariant the convergence
+    property tests lean on — and because completed-ness is monotone it never
+    needs to unlearn either.
+    """
+
+    __slots__ = ("known", "acked_digest", "sequence", "pending")
+
+    def __init__(self) -> None:
+        #: Contracted codes the peer is known to cover (its own traffic plus
+        #: everything it has acknowledged).
+        self.known: CodeSet = CodeSet()
+        #: Digest of the last acknowledged table state (0 = nothing acked).
+        self.acked_digest: int = 0
+        #: Per-peer delta sequence number (tracing only).
+        self.sequence: int = 0
+        #: Unacknowledged sends: digest -> table codes at that send, in send
+        #: order, bounded to :data:`_PENDING_SENDS_MAX` entries.
+        self.pending: Dict[int, FrozenSet[PathCode]] = {}
+
+    def note_covers(self, codes: Iterable[PathCode]) -> None:
+        """Record codes the peer provably covers (it sent them to us)."""
+        self.known.update(codes)
+
+    def remember_send(self, digest: int, codes: FrozenSet[PathCode]) -> None:
+        """Record an outgoing delta so its future ack can advance ``known``."""
+        pending = self.pending
+        pending.pop(digest, None)  # re-insert at the end on a re-send
+        pending[digest] = codes
+        while len(pending) > _PENDING_SENDS_MAX:
+            pending.pop(next(iter(pending)))
+
+    def acknowledge(self, digest: int) -> bool:
+        """Fold the send matching ``digest`` into ``known``; True on match.
+
+        Sends recorded *before* the acknowledged one are dropped — the
+        acknowledged state supersedes whatever those deltas were relative to
+        — while later, still-unacknowledged sends stay pending so their acks
+        can advance the view further.
+        """
+        codes = self.pending.get(digest)
+        if codes is None:
+            return False
+        for sent_digest in list(self.pending):
+            del self.pending[sent_digest]
+            if sent_digest == digest:
+                break
+        self.known.update(codes)
+        self.acked_digest = digest
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting only
+        return (
+            f"PeerGossipView(known={len(self.known)} codes, "
+            f"seq={self.sequence}, pending={len(self.pending)})"
+        )
 
 
 class CompletionTracker:
     """Tracks locally and globally known completed subproblems for one process.
+
+    Besides the paper's two data structures (pending-report list + completed
+    table), the tracker owns the per-peer delta-gossip state: one
+    :class:`PeerGossipView` per peer recording what that peer provably
+    covers, driving :meth:`build_delta_snapshot` /
+    :meth:`note_snapshot_ack` / :meth:`note_peer_covers` /
+    :meth:`note_peer_converged` (see the module docstring for the protocol).
 
     Parameters
     ----------
@@ -93,6 +203,12 @@ class CompletionTracker:
         #: Incrementally maintained wire size of the pending (unreported)
         #: codes, so :meth:`storage_bytes` never re-sums the list.
         self._pending_wire = 0
+        #: Per-peer delta-gossip state (what each peer is known to cover).
+        self._peer_views: Dict[str, PeerGossipView] = {}
+        #: Memoised ``(codes frozenset, digest)`` of the current table, so
+        #: one table state is digested at most once no matter how many peers
+        #: are gossiped to before the next change.
+        self._digest_memo: Optional[Tuple[FrozenSet[PathCode], int]] = None
 
     # ------------------------------------------------------------------ #
     # Local completion
@@ -172,8 +288,115 @@ class CompletionTracker:
         return report
 
     def build_table_snapshot(self, *, best: Optional[BestSolution] = None) -> CompletedTableSnapshot:
-        """Snapshot the whole contracted table for occasional table gossip."""
+        """Snapshot the whole contracted table for occasional table gossip.
+
+        The snapshot shares the table's memoised ``codes()`` frozenset and
+        frozen trie view, so snapshotting an unchanged table allocates
+        nothing and in-process receivers can merge trie-to-trie (see
+        :meth:`merge_snapshot`).
+        """
         return CompletedTableSnapshot.from_table(self.owner, self.table, best=best)
+
+    # ------------------------------------------------------------------ #
+    # Delta gossip (anti-entropy table dissemination)
+    # ------------------------------------------------------------------ #
+    def table_digest_now(self) -> int:
+        """Digest of the current table (memoised per table state)."""
+        codes = self.table.codes()
+        memo = self._digest_memo
+        if memo is not None and memo[0] is codes:
+            return memo[1]
+        digest = table_digest(codes)
+        self._digest_memo = (codes, digest)
+        return digest
+
+    def peer_view(self, peer: str) -> PeerGossipView:
+        """The delta-gossip view of ``peer`` (created on first use)."""
+        view = self._peer_views.get(peer)
+        if view is None:
+            view = PeerGossipView()
+            self._peer_views[peer] = view
+        return view
+
+    def build_delta_snapshot(
+        self, peer: str, *, best: Optional[BestSolution] = None
+    ) -> DeltaSnapshot:
+        """Build the delta of the current table against ``peer``'s basis.
+
+        Ships every contracted code the peer's last-acknowledged table state
+        does not cover.  Before any acknowledgement the basis is empty, so
+        the first delta carries the whole table (the stream needs no special
+        bootstrap message); once acks flow, steady-state deltas carry only
+        the codes completed (or contracted into existence) since.
+
+        The send is remembered in the peer's view so a future
+        :meth:`note_snapshot_ack` with the matching ``full_digest`` can
+        advance the peer's known coverage.  An empty delta (``is_empty``) is
+        *not* remembered — there is nothing for the peer to acknowledge —
+        and callers typically skip sending it altogether.
+        """
+        view = self.peer_view(peer)
+        codes = self.table.codes()
+        digest = self.table_digest_now()
+        known = view.known
+        if not known:
+            delta_codes = codes  # shares the memoised frozenset
+        elif digest == view.acked_digest or known.is_complete():
+            delta_codes = frozenset()
+        else:
+            known_covers = known.covers
+            delta_codes = frozenset(c for c in codes if not known_covers(c))
+        view.sequence += 1
+        if delta_codes:
+            view.remember_send(digest, codes)
+        return DeltaSnapshot(
+            sender=self.owner,
+            codes=delta_codes,
+            full_digest=digest,
+            sequence=view.sequence,
+            best=best if best is not None else BestSolution(),
+        )
+
+    def note_snapshot_ack(self, peer: str, digest: int) -> bool:
+        """Process a peer's delta acknowledgement; True when it advanced."""
+        view = self._peer_views.get(peer)
+        if view is None:
+            return False
+        return view.acknowledge(digest)
+
+    def note_peer_covers(self, peer: str, codes: Iterable[PathCode]) -> None:
+        """Record codes ``peer`` provably covers (it sent them to us).
+
+        Called by the worker for every report, snapshot or delta received
+        while delta gossip is enabled: the reverse channel is loss-proof
+        evidence about the peer's table, and folding it into the peer's view
+        shrinks future deltas without waiting for an acknowledgement
+        round-trip.
+        """
+        if peer == self.owner:
+            return
+        self.peer_view(peer).note_covers(codes)
+
+    def note_peer_converged(self, peer: str) -> None:
+        """Record that ``peer``'s table currently equals this one.
+
+        Called when a digest comparison proves convergence: a received delta
+        whose ``full_digest`` matches our own post-merge digest, or an ack
+        whose ``table_digest`` matches our current one.  The whole table is
+        folded into the peer's known coverage (trie-to-trie), after which
+        deltas to the peer stay empty until this table grows past it again.
+        """
+        if peer == self.owner:
+            return
+        self.peer_view(peer).known.merge(self.table)
+
+    def merge_delta(self, delta: DeltaSnapshot) -> bool:
+        """Merge a received delta snapshot into the table.
+
+        Delta codes are plain completed-code facts, so merging is exactly
+        :meth:`merge_report` — idempotent, order-independent, loss-tolerant.
+        """
+        return self.merge_report(delta.as_report())
 
     # ------------------------------------------------------------------ #
     # Remote information
@@ -199,8 +422,46 @@ class CompletionTracker:
         return changed
 
     def merge_snapshot(self, snapshot: CompletedTableSnapshot) -> bool:
-        """Merge a received full-table snapshot."""
-        return self.merge_report(snapshot.as_report())
+        """Merge a received full-table snapshot.
+
+        Three paths, fastest first:
+
+        * **adopt** — the receiving table is empty (a fresh joiner catching
+          up) and the snapshot carries the sender's frozen trie view: one
+          structural clone replaces every individual insertion and the
+          sender's memoised ``codes()`` frozenset is shared outright;
+        * **trie-to-trie** — the snapshot carries the view but the table has
+          content: the view's trie is walked directly and raw packed-key
+          paths are inserted shallow-first, skipping ``PathCode``
+          construction and re-contraction of the (already contracted) input;
+        * **per-code** — the snapshot was decoded off the wire (no view):
+          fall back to :meth:`merge_report`.
+
+        All three update the same redundancy/storage counters.
+        """
+        trie = snapshot.shared_trie()
+        if trie is None:
+            return self.merge_report(snapshot.as_report())
+        table = self.table
+        if not table and not table.is_complete():
+            count = len(trie)
+            self.codes_received += count
+            if not table.adopt_from(trie, snapshot.codes):
+                return False
+            self.bytes_stored_remote += trie.wire_size()
+            return True
+        changed = False
+        table_add = table.add
+        for keys in sorted(trie._iter_completed_keys(), key=len):
+            self.codes_received += 1
+            if table_add(keys):
+                self.bytes_stored_remote += (
+                    _CODE_HEADER_BYTES + _PAIR_WIRE_BYTES * len(keys)
+                )
+                changed = True
+            else:
+                self.redundant_codes_received += 1
+        return changed
 
     # ------------------------------------------------------------------ #
     # Queries used by recovery and termination

@@ -40,7 +40,9 @@ __all__ = [
     "BestSolution",
     "WorkReport",
     "CompletedTableSnapshot",
+    "DeltaSnapshot",
     "compress_report_codes",
+    "table_digest",
 ]
 
 #: Fixed overhead charged per message by the byte-size model (headers,
@@ -48,6 +50,31 @@ __all__ = [
 _MESSAGE_HEADER_BYTES = 32
 #: Bytes charged for an embedded best-known-solution value.
 _BEST_SOLUTION_BYTES = 10
+#: Bytes charged for a table digest embedded in a delta snapshot / ack
+#: (fixed 8-byte field on the wire, see ``repro.wire``).
+_DIGEST_BYTES = 8
+
+
+def table_digest(codes) -> int:
+    """Order-independent 64-bit digest of a set of completed codes.
+
+    XOR-combines the wire-stable :meth:`~repro.core.encoding.PathCode.digest`
+    of every code and mixes in the cardinality, so any two processes holding
+    the same contracted table compute the same value regardless of iteration
+    order, interpreter or hash randomisation.  Delta gossip uses it as the
+    acknowledgement token: a receiver echoes the digest of the sender's full
+    table, and the sender advances its per-peer basis only on an exact match.
+
+    A collision (two different tables with equal digests) can at worst make
+    a sender skip codes one particular peer still misses — the epidemic work
+    reports still deliver them — so 64 opportunistic bits are plenty.
+    """
+    acc = 0
+    count = 0
+    for code in codes:
+        acc ^= code.digest()
+        count += 1
+    return (acc ^ (count * 0x100000001B3)) & 0xFFFFFFFFFFFFFFFF
 
 
 @dataclass(frozen=True, slots=True)
@@ -181,6 +208,14 @@ class CompletedTableSnapshot:
     Sent occasionally to a randomly chosen member "in order to inform new
     members of the current state of the execution and to increase the degree
     of consistency" (Section 5.3.2).
+
+    When built from a live table with :meth:`from_table`, the snapshot also
+    carries the sender's memoised *frozen trie view*
+    (:meth:`~repro.core.codeset.CodeSet.frozen_view`) so an in-process
+    receiver can merge trie-to-trie — or adopt the copy outright when its own
+    table is still empty — instead of re-adding the table code by code.  The
+    view never crosses the wire (the codec ships only ``codes``); a decoded
+    snapshot simply has no view and receivers fall back to per-code merging.
     """
 
     sender: str
@@ -188,17 +223,27 @@ class CompletedTableSnapshot:
     best: BestSolution = field(default_factory=BestSolution)
     #: Cached wire size (-1 = not computed yet); excluded from equality.
     _wire: int = field(default=-1, init=False, repr=False, compare=False)
+    #: Frozen trie view of the sender's table (in-process fast path only);
+    #: excluded from equality and never serialised.
+    _trie: Optional[CodeSet] = field(default=None, init=False, repr=False, compare=False)
 
     @classmethod
     def from_table(
         cls, sender: str, table: CodeSet, *, best: Optional[BestSolution] = None
     ) -> "CompletedTableSnapshot":
-        """Snapshot a live table."""
-        return cls(
+        """Snapshot a live table, attaching its frozen trie view."""
+        snapshot = cls(
             sender=sender,
             codes=table.codes(),
             best=best if best is not None else BestSolution(),
         )
+        object.__setattr__(snapshot, "_trie", table.frozen_view())
+        return snapshot
+
+    def shared_trie(self) -> Optional[CodeSet]:
+        """The sender's frozen trie view, when this snapshot never left the
+        process (``None`` for snapshots decoded off the wire).  Read-only."""
+        return self._trie
 
     def wire_size(self) -> int:
         """Estimated encoded size in bytes (computed once, then cached)."""
@@ -206,4 +251,66 @@ class CompletedTableSnapshot:
 
     def as_report(self, sequence: int = 0) -> WorkReport:
         """View the snapshot as a (large) work report for uniform handling."""
+        return WorkReport(sender=self.sender, codes=self.codes, best=self.best, sequence=sequence)
+
+
+@dataclass(frozen=True, slots=True)
+class DeltaSnapshot:
+    """The codes of a table that one peer is *not* known to cover yet.
+
+    Delta gossip replaces the occasional whole-table
+    :class:`CompletedTableSnapshot` push with an anti-entropy exchange: the
+    sender keeps, per peer, the digest of the last table state that peer
+    acknowledged (see
+    :class:`~repro.core.completion.PeerGossipView`) and ships only the codes
+    of its current table that the acknowledged basis does not cover.  The
+    receiver merges the codes — they are ordinary completed-code facts, so a
+    lost or reordered delta can never corrupt anything — and echoes
+    ``full_digest`` back; only that acknowledgement lets the sender advance
+    the peer's basis.  Until an ack arrives, every new delta re-ships the
+    unacknowledged codes, which is what makes the scheme converge under
+    arbitrary message loss (the property tests pin this against
+    whole-snapshot gossip).
+
+    Attributes
+    ----------
+    sender:
+        Identifier of the gossiping process.
+    codes:
+        Contracted codes not covered by the peer's acknowledged basis.  With
+        an empty basis (first contact) this is the whole table, so a delta
+        stream needs no special bootstrap message.
+    full_digest:
+        :func:`table_digest` of the sender's *entire* table at send time —
+        the acknowledgement token.
+    sequence:
+        Per sender→peer delta sequence number (tracing only; the protocol is
+        idempotent under loss, duplication and reordering).
+    best:
+        The sender's best-known solution, piggy-backed as on every message.
+    """
+
+    sender: str
+    codes: FrozenSet[PathCode]
+    full_digest: int = 0
+    sequence: int = 0
+    best: BestSolution = field(default_factory=BestSolution)
+    #: Cached wire size (-1 = not computed yet); excluded from equality.
+    _wire: int = field(default=-1, init=False, repr=False, compare=False)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the peer's acknowledged basis already covers the table."""
+        return not self.codes
+
+    def wire_size(self) -> int:
+        """Estimated encoded size in bytes: header, codes, digest, incumbent."""
+        wire = self._wire
+        if wire < 0:
+            wire = _cached_payload_wire(self) + _DIGEST_BYTES
+            object.__setattr__(self, "_wire", wire)
+        return wire
+
+    def as_report(self, sequence: int = 0) -> WorkReport:
+        """View the delta as a work report for uniform merge handling."""
         return WorkReport(sender=self.sender, codes=self.codes, best=self.best, sequence=sequence)

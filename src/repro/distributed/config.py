@@ -54,6 +54,14 @@ class AlgorithmConfig:
     #: have spare capacity, and converging the completed-table views quickly
     #: is exactly what lets them detect termination instead of redoing work.
     table_gossip_when_idle: bool = True
+    #: Gossip table *deltas* instead of whole snapshots: track per peer what
+    #: it last acknowledged covering and ship only the uncovered codes
+    #: (acknowledged with tiny digest echoes).  Steady-state table-gossip
+    #: bytes drop by an order of magnitude on the paper workloads
+    #: (``benchmarks/bench_delta_gossip.py`` gates ≥3×); disabling restores
+    #: the paper's literal whole-snapshot push, which the convergence
+    #: property tests use as the reference behaviour.
+    delta_gossip: bool = True
     #: Compress outgoing reports (sibling merge + ancestor drop).  Disabling
     #: this is the ABL-COMPRESS ablation.
     compress_reports: bool = True

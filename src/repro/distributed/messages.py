@@ -9,6 +9,10 @@ The algorithm uses a small set of message types (Sections 5 and 5.3.2):
   ``m`` random members;
 * **table gossip** — occasional full snapshots of the contracted completed
   table, pushed to one random member;
+* **delta gossip** — the anti-entropy refinement of table gossip: only the
+  codes the receiver is not known to cover, acknowledged with a
+  :class:`TableGossipAck` echoing the sender's table digest (see
+  :class:`~repro.core.work_report.DeltaSnapshot`);
 * the final **root report** announcing termination (a work report whose only
   code is the root).
 
@@ -24,7 +28,12 @@ from dataclasses import dataclass, field
 from typing import FrozenSet, Optional, Tuple
 
 from ..core.encoding import PathCode
-from ..core.work_report import BestSolution, CompletedTableSnapshot, WorkReport
+from ..core.work_report import (
+    BestSolution,
+    CompletedTableSnapshot,
+    DeltaSnapshot,
+    WorkReport,
+)
 
 __all__ = [
     "WorkRequest",
@@ -32,11 +41,14 @@ __all__ = [
     "WorkDenied",
     "WorkReportMsg",
     "TableGossipMsg",
+    "DeltaGossipMsg",
+    "TableGossipAck",
     "MessageKinds",
 ]
 
 _HEADER_BYTES = 32
 _BEST_BYTES = 10
+_DIGEST_BYTES = 8
 
 
 @dataclass(frozen=True, slots=True)
@@ -108,6 +120,50 @@ class TableGossipMsg:
         return self.snapshot.best
 
 
+@dataclass(frozen=True, slots=True)
+class DeltaGossipMsg:
+    """Envelope for a :class:`~repro.core.work_report.DeltaSnapshot`."""
+
+    delta: DeltaSnapshot
+
+    def wire_size(self) -> int:
+        """Delegates to the delta's own size model."""
+        return self.delta.wire_size()
+
+    @property
+    def best(self) -> BestSolution:
+        """The piggy-backed incumbent."""
+        return self.delta.best
+
+
+@dataclass(frozen=True, slots=True)
+class TableGossipAck:
+    """Acknowledgement of a delta gossip: echoes the sender's table digest.
+
+    ``sender`` is the *acknowledging* process; ``digest`` is the
+    ``full_digest`` of the :class:`~repro.core.work_report.DeltaSnapshot`
+    that was merged.  Receiving it lets the original gossiper advance its
+    per-peer basis (see
+    :meth:`~repro.core.completion.CompletionTracker.note_snapshot_ack`);
+    losing it merely causes a redundant re-send, never incorrectness.
+
+    ``table_digest`` is the digest of the *acknowledging* process's own
+    table right after the merge.  When it equals the original gossiper's
+    current digest the two tables are identical, so the gossiper can mark
+    the peer as covering everything it has — in the converged steady state
+    this collapses subsequent deltas to suppressed empties.
+    """
+
+    sender: str
+    digest: int
+    table_digest: int = 0
+    best: BestSolution = field(default_factory=BestSolution)
+
+    def wire_size(self) -> int:
+        """Acks are tiny: header, two 8-byte digests, piggy-backed incumbent."""
+        return _HEADER_BYTES + 2 * _DIGEST_BYTES + self.best.wire_size()
+
+
 class MessageKinds:
     """Canonical kind labels used by the traffic counters and traces."""
 
@@ -116,7 +172,13 @@ class MessageKinds:
     WORK_DENIED = "work_denied"
     WORK_REPORT = "work_report"
     TABLE_GOSSIP = "table_gossip"
+    DELTA_GOSSIP = "delta_gossip"
+    GOSSIP_ACK = "gossip_ack"
     ROOT_REPORT = "root_report"
+
+    #: Kinds that carry table-dissemination traffic (the delta-gossip
+    #: benchmark compares the byte volume of exactly this family).
+    TABLE_DISSEMINATION = (TABLE_GOSSIP, DELTA_GOSSIP, GOSSIP_ACK)
 
     @staticmethod
     def of(payload: object) -> str:
@@ -133,4 +195,8 @@ class MessageKinds:
             return MessageKinds.WORK_REPORT
         if isinstance(payload, TableGossipMsg):
             return MessageKinds.TABLE_GOSSIP
+        if isinstance(payload, DeltaGossipMsg):
+            return MessageKinds.DELTA_GOSSIP
+        if isinstance(payload, TableGossipAck):
+            return MessageKinds.GOSSIP_ACK
         return "unknown"

@@ -112,6 +112,9 @@ class DistributedBnBSimulation:
             partitions=self.network_config.partitions,
             rng=rng.stream("network"),
         )
+        # Per-kind traffic accounting (the network is protocol-agnostic, so
+        # the classifier is installed here, where the protocol is known).
+        self.net.classify = MessageKinds.of
 
         names = worker_names(self.n_workers)
         root_sub = self.problem.root_subproblem()
@@ -216,6 +219,12 @@ class DistributedBnBSimulation:
             messages_by_kind["table_gossips"] = (
                 messages_by_kind.get("table_gossips", 0) + worker.stats.table_gossips_sent
             )
+            messages_by_kind["delta_gossips"] = (
+                messages_by_kind.get("delta_gossips", 0) + worker.stats.delta_gossips_sent
+            )
+            messages_by_kind["gossip_acks"] = (
+                messages_by_kind.get("gossip_acks", 0) + worker.stats.gossip_acks_sent
+            )
 
         redundant_nodes = expanded_total_codes - len(expanded_union)
 
@@ -235,6 +244,7 @@ class DistributedBnBSimulation:
             network=self.net.stats,
             total_bytes_sent=self.net.stats.bytes_sent,
             messages_by_kind=messages_by_kind,
+            bytes_by_kind=dict(self.net.kind_bytes),
             trace=self.trace,
         )
 

@@ -31,7 +31,12 @@ class WorkerRunStats:
     nodes_skipped_covered: int = 0
     completed_codes_local: int = 0
     reports_sent: int = 0
+    #: Whole-table snapshot pushes (disjoint from ``delta_gossips_sent``:
+    #: each gossip push is counted under exactly one kind).
     table_gossips_sent: int = 0
+    delta_gossips_sent: int = 0
+    delta_gossips_suppressed: int = 0
+    gossip_acks_sent: int = 0
     work_requests_sent: int = 0
     work_grants_sent: int = 0
     work_denials_sent: int = 0
@@ -62,6 +67,9 @@ class WorkerRunStats:
             "completed_codes_local": self.completed_codes_local,
             "reports_sent": self.reports_sent,
             "table_gossips_sent": self.table_gossips_sent,
+            "delta_gossips_sent": self.delta_gossips_sent,
+            "delta_gossips_suppressed": self.delta_gossips_suppressed,
+            "gossip_acks_sent": self.gossip_acks_sent,
             "work_requests_sent": self.work_requests_sent,
             "work_grants_sent": self.work_grants_sent,
             "work_denials_sent": self.work_denials_sent,
@@ -118,6 +126,10 @@ class RunResult:
     total_bytes_sent: int = 0
     #: Message counts by kind.
     messages_by_kind: Dict[str, int] = field(default_factory=dict)
+    #: Bytes injected into the network by payload kind (wire-size model), as
+    #: classified by :class:`~repro.distributed.messages.MessageKinds` — the
+    #: delta-gossip benchmark compares the table-dissemination family here.
+    bytes_by_kind: Dict[str, int] = field(default_factory=dict)
     #: Optional execution timeline (Figures 5/6).
     trace: Optional[TimelineTrace] = None
 

@@ -14,6 +14,12 @@ Section 5 of the paper:
   compressed work reports, received reports are merged and contracted, and a
   worker that stays starved complements its table and regenerates an
   uncompleted subproblem from its self-contained code;
+* table dissemination: occasional table gossip to one random member — by
+  default as per-peer *deltas* (only the codes the chosen peer is not known
+  to cover, acknowledged with digest echoes; see
+  :meth:`~repro.core.completion.CompletionTracker.build_delta_snapshot`),
+  or as the paper's literal whole-table snapshots when
+  :attr:`~repro.distributed.config.AlgorithmConfig.delta_gossip` is off;
 * almost-implicit termination detection: when a worker's table contracts to
   the root code it broadcasts one final root report and stops;
 * incumbent sharing: the best-known solution piggy-backs on every message.
@@ -43,7 +49,9 @@ from ..simulation.metrics import MetricsCollector
 from ..simulation.tracing import TimelineTrace
 from .config import AlgorithmConfig
 from .messages import (
+    DeltaGossipMsg,
     MessageKinds,
+    TableGossipAck,
     TableGossipMsg,
     WorkDenied,
     WorkGrant,
@@ -409,6 +417,15 @@ class WorkerEntity(Entity):
         if isinstance(payload, TableGossipMsg):
             cost = self._charge("communication", receive_cost)
             return cost + self._merge_snapshot(payload)
+        if isinstance(payload, DeltaGossipMsg):
+            cost = self._charge("communication", receive_cost)
+            return cost + self._merge_delta(payload)
+        if isinstance(payload, TableGossipAck):
+            self.tracker.note_snapshot_ack(payload.sender, payload.digest)
+            if payload.table_digest and payload.table_digest == self.tracker.table_digest_now():
+                # The acker's table equals ours: it covers everything we have.
+                self.tracker.note_peer_converged(payload.sender)
+            return self._charge("communication", receive_cost)
         # Unknown payloads (e.g. membership gossip when layered) are charged
         # as plain communication handling.
         return self._charge("communication", receive_cost)
@@ -417,6 +434,10 @@ class WorkerEntity(Entity):
         now = self._now()
         before_ops = self.tracker.table.stats.elementary_operations()
         self.tracker.merge_report(msg.report)
+        if self.config.delta_gossip:
+            # Reverse-channel learning: the sender provably covers every code
+            # it just reported, so future deltas to it can skip them.
+            self.tracker.note_peer_covers(msg.report.sender, msg.report.codes)
         newly_terminated = self.termination.observe_report(msg.report, now)
         ops = self.tracker.table.stats.elementary_operations() - before_ops
         cost = self._charge("contraction", ops * self.config.contraction_cost_per_op)
@@ -429,9 +450,42 @@ class WorkerEntity(Entity):
         now = self._now()
         before_ops = self.tracker.table.stats.elementary_operations()
         self.tracker.merge_snapshot(msg.snapshot)
+        if self.config.delta_gossip:
+            self.tracker.note_peer_covers(msg.snapshot.sender, msg.snapshot.codes)
         self.termination.observe_report(msg.snapshot.as_report(), now)
         ops = self.tracker.table.stats.elementary_operations() - before_ops
         cost = self._charge("contraction", ops * self.config.contraction_cost_per_op)
+        self._abort_covered_recoveries()
+        return cost
+
+    def _merge_delta(self, msg: DeltaGossipMsg) -> float:
+        """Merge a received delta gossip and acknowledge it to the sender."""
+        now = self._now()
+        delta = msg.delta
+        before_ops = self.tracker.table.stats.elementary_operations()
+        self.tracker.merge_delta(delta)
+        self.tracker.note_peer_covers(delta.sender, delta.codes)
+        self.termination.observe_report(delta.as_report(), now)
+        ops = self.tracker.table.stats.elementary_operations() - before_ops
+        cost = self._charge("contraction", ops * self.config.contraction_cost_per_op)
+        my_digest = self.tracker.table_digest_now()
+        if my_digest == delta.full_digest:
+            # Post-merge our table equals the sender's: it covers all of it.
+            self.tracker.note_peer_converged(delta.sender)
+        # Echo the sender's table digest so its per-peer basis advances; a
+        # lost ack only costs a redundant re-send, never correctness.
+        if not self.terminated:
+            self.send(
+                delta.sender,
+                TableGossipAck(
+                    sender=self.name,
+                    digest=delta.full_digest,
+                    table_digest=my_digest,
+                    best=self._my_best(),
+                ),
+            )
+            self.stats.gossip_acks_sent += 1
+            cost += self._charge("communication", self.config.msg_send_cost)
         self._abort_covered_recoveries()
         return cost
 
@@ -570,12 +624,7 @@ class WorkerEntity(Entity):
             and self.peers
             and (now - self._last_table_gossip) >= self.config.idle_poll_interval
         ):
-            snapshot = self.tracker.build_table_snapshot(best=self._my_best())
-            target = self.rng.choice(self.peers)
-            self.send(target, TableGossipMsg(snapshot))
-            self.stats.table_gossips_sent += 1
-            self._last_table_gossip = now
-            cost += self._charge("communication", self.config.msg_send_cost)
+            cost += self._send_table_gossip(now)
 
         may_request = (
             self._last_lb_attempt is None
@@ -661,13 +710,32 @@ class WorkerEntity(Entity):
             cost += self._flush_report()
 
         if self._periodic_gossip_due(now):
+            cost += self._send_table_gossip(now)
+        return cost
+
+    def _send_table_gossip(self, now: float) -> float:
+        """Push table state to one random peer: a delta or a whole snapshot.
+
+        With :attr:`~repro.distributed.config.AlgorithmConfig.delta_gossip`
+        on, only the codes the chosen peer's acknowledged basis does not
+        cover are shipped; an empty delta (the peer is known to be up to
+        date) suppresses the send entirely, so a converged idle group stops
+        paying table-gossip bytes altogether.
+        """
+        target = self.rng.choice(self.peers)
+        self._last_table_gossip = now
+        if self.config.delta_gossip:
+            delta = self.tracker.build_delta_snapshot(target, best=self._my_best())
+            if delta.is_empty:
+                self.stats.delta_gossips_suppressed += 1
+                return 0.0
+            self.send(target, DeltaGossipMsg(delta))
+            self.stats.delta_gossips_sent += 1
+        else:
             snapshot = self.tracker.build_table_snapshot(best=self._my_best())
-            target = self.rng.choice(self.peers)
             self.send(target, TableGossipMsg(snapshot))
             self.stats.table_gossips_sent += 1
-            self._last_table_gossip = now
-            cost += self._charge("communication", self.config.msg_send_cost)
-        return cost
+        return self._charge("communication", self.config.msg_send_cost)
 
     def _choose_report_targets(self, fanout: int) -> List[str]:
         if not self.peers:

@@ -78,7 +78,12 @@ class LocalCluster:
         max_seconds: float = 30.0,
         prune: bool = True,
         report_threshold: int = 5,
+        wire_generations: Optional[Sequence[int]] = None,
     ) -> None:
+        """``wire_generations`` optionally assigns a wire-format generation
+        per worker index (defaults to the current generation for all) — a
+        mixed list models a rolling upgrade where generation-1 and
+        generation-2 binaries coexist in one cluster."""
         if n_workers < 1:
             raise ValueError("n_workers must be at least 1")
         self.tree = tree
@@ -88,6 +93,18 @@ class LocalCluster:
         self.max_seconds = max_seconds
         self.prune = prune
         self.report_threshold = report_threshold
+        if wire_generations is not None:
+            if len(wire_generations) != n_workers:
+                raise ValueError("wire_generations must name one generation per worker")
+            from ..wire import FRAME_VERSION, FRAME_VERSION_V1
+
+            for generation in wire_generations:
+                if not (FRAME_VERSION_V1 <= generation <= FRAME_VERSION):
+                    raise ValueError(
+                        f"unknown wire-format generation {generation} "
+                        f"(known: {FRAME_VERSION_V1}..{FRAME_VERSION})"
+                    )
+        self.wire_generations = list(wire_generations) if wire_generations is not None else None
         self.names = [f"rworker-{i:02d}" for i in range(n_workers)]
 
     def run(self, *, kill: Sequence[str] = (), kill_after: float = 0.5) -> LocalClusterResult:
@@ -110,6 +127,9 @@ class LocalCluster:
                 max_seconds=self.max_seconds,
                 prune=self.prune,
                 report_threshold=self.report_threshold,
+                wire_generation=(
+                    self.wire_generations[index] if self.wire_generations is not None else RealWorkerConfig.wire_generation
+                ),
             )
             process = ctx.Process(target=worker_main, args=(config, child_end), daemon=True)
             processes[name] = process

@@ -13,6 +13,17 @@ frame at the pipe boundary and encodes every outgoing message the same way.
 The final :class:`WorkerOutcome` is itself a registered wire message
 (extension tag next to the transport's envelope).
 
+Each worker speaks a configurable **wire-format generation**
+(:attr:`RealWorkerConfig.wire_generation`).  A generation-2 worker gossips
+its completed table as deltas (:class:`~repro.distributed.messages.
+DeltaGossipMsg`, acknowledged with digest echoes) while starved; a
+generation-1 worker sends whole-table snapshots and *rejects* generation-2
+frames at the pipe boundary exactly like the original release would — so a
+mixed-generation :class:`~repro.realexec.driver.LocalCluster` run is a real
+rolling upgrade: deltas to old workers are dropped as unsupported, the
+generation-1 report/snapshot traffic keeps every worker converging, and the
+computation still terminates on the optimum.
+
 The protocol mirrors :mod:`repro.distributed.worker` in miniature; it trades
 the detailed time accounting of the simulator for the ability to kill real
 processes in the fault-injection tests.
@@ -34,13 +45,15 @@ from ..core.recovery import RecoveryPolicy
 from ..core.termination import make_root_report
 from ..core.work_report import BestSolution
 from ..distributed.messages import (
+    DeltaGossipMsg,
+    TableGossipAck,
     TableGossipMsg,
     WorkDenied,
     WorkGrant,
     WorkReportMsg,
     WorkRequest,
 )
-from ..wire import WireFormatError
+from ..wire import FRAME_VERSION, WireFormatError
 from ..wire.frame import Tag, register
 from ..wire.varint import (
     read_bool,
@@ -76,6 +89,12 @@ class RealWorkerConfig:
     seed: int = 0
     max_seconds: float = 30.0
     prune: bool = True
+    #: Wire-format generation this worker speaks: 2 gossips table deltas and
+    #: accepts the whole protocol; 1 models a not-yet-upgraded binary that
+    #: sends whole-table snapshots and rejects generation-2 frames.
+    wire_generation: int = FRAME_VERSION
+    #: Minimum wall-clock seconds between table-gossip pushes while starved.
+    gossip_interval: float = 0.2
 
 
 @dataclass(frozen=True)
@@ -184,18 +203,21 @@ def worker_main(config: RealWorkerConfig, connection) -> None:
             send(target, WorkReportMsg(report))
         reports_sent += 1
 
+    last_gossip = 0.0
     terminated = False
     while not terminated and time.monotonic() < deadline:
         # ------------------------------------------------------------ drain
         while connection.poll(0 if pool else config.poll_timeout):
             try:
-                envelope = recv_envelope(connection)
+                envelope = recv_envelope(connection, max_version=config.wire_generation)
             except (EOFError, OSError):
                 terminated = True
                 break
             except WireFormatError:
-                # A corrupt frame is indistinguishable from a lost message in
-                # the paper's unreliable-channel model: drop it and move on.
+                # A corrupt frame — or, for a generation-1 worker, a
+                # generation-2 payload from an upgraded peer — is
+                # indistinguishable from a lost message in the paper's
+                # unreliable-channel model: drop it and move on.
                 continue
             payload = envelope.payload
             absorb_best(payload)
@@ -238,6 +260,28 @@ def worker_main(config: RealWorkerConfig, connection) -> None:
                     else payload.snapshot.as_report()
                 )
                 tracker.merge_report(report)
+                if config.wire_generation >= 2:
+                    tracker.note_peer_covers(envelope.sender, report.codes)
+            elif isinstance(payload, DeltaGossipMsg):
+                delta = payload.delta
+                tracker.merge_delta(delta)
+                tracker.note_peer_covers(delta.sender, delta.codes)
+                my_digest = tracker.table_digest_now()
+                if my_digest == delta.full_digest:
+                    tracker.note_peer_converged(delta.sender)
+                send(
+                    delta.sender,
+                    TableGossipAck(
+                        sender=config.name,
+                        digest=delta.full_digest,
+                        table_digest=my_digest,
+                        best=my_best(),
+                    ),
+                )
+            elif isinstance(payload, TableGossipAck):
+                tracker.note_snapshot_ack(payload.sender, payload.digest)
+                if payload.table_digest and payload.table_digest == tracker.table_digest_now():
+                    tracker.note_peer_converged(payload.sender)
 
         if tracker.is_tree_complete():
             terminated = True
@@ -252,6 +296,19 @@ def worker_main(config: RealWorkerConfig, connection) -> None:
                 break
         if sub is None:
             flush_report(force=True)
+            # Starved workers use their spare capacity to converge the
+            # completed-table views: deltas at generation 2, whole snapshots
+            # at generation 1 (the paper's literal behaviour).
+            now_wall = time.monotonic()
+            if peers and (now_wall - last_gossip) >= config.gossip_interval and len(tracker.table):
+                target = rng.choice(peers)
+                last_gossip = now_wall
+                if config.wire_generation >= 2:
+                    gossip_delta = tracker.build_delta_snapshot(target, best=my_best())
+                    if not gossip_delta.is_empty:
+                        send(target, DeltaGossipMsg(gossip_delta))
+                else:
+                    send(target, TableGossipMsg(tracker.build_table_snapshot(best=my_best())))
             if peers and not outstanding_request:
                 send(rng.choice(peers), WorkRequest(requester=config.name, best=my_best()))
                 outstanding_request = True

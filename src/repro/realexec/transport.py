@@ -31,7 +31,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
-from ..wire import WireFormatError, decode, encode
+from ..wire import FRAME_VERSION, WireFormatError, decode, encode
 from ..wire.frame import Tag, read_header, register
 from ..wire.varint import read_string, read_uvarint, write_string, write_uvarint
 
@@ -67,16 +67,27 @@ def _write_envelope(out: bytearray, envelope: Envelope) -> None:
     out += payload
 
 
-def _read_envelope(data, pos: int) -> Tuple[Envelope, int]:
-    """Read an envelope body; decodes the nested payload frame."""
+def _read_envelope_body(
+    data, pos: int, *, max_version: int = FRAME_VERSION
+) -> Tuple[Envelope, int]:
+    """Parse an envelope body (the single definition of its layout).
+
+    ``max_version`` bounds the wire-format generation accepted for the
+    *nested payload* frame (see :func:`decode_envelope`).
+    """
     sender, pos = read_string(data, pos)
     destination, pos = read_string(data, pos)
     length, pos = read_uvarint(data, pos)
     end = pos + length
     if end > len(data):
         raise WireFormatError("envelope payload runs past end of frame")
-    payload = decode(bytes(data[pos:end]))
+    payload = decode(bytes(data[pos:end]), max_version=max_version)
     return Envelope(sender, destination, payload), end
+
+
+def _read_envelope(data, pos: int) -> Tuple[Envelope, int]:
+    """Registry reader: an envelope body at the current generation."""
+    return _read_envelope_body(data, pos)
 
 
 register(ENVELOPE_TAG, Envelope, _write_envelope, _read_envelope)
@@ -87,11 +98,33 @@ def encode_envelope(envelope: Envelope) -> bytes:
     return encode(envelope)
 
 
-def decode_envelope(data: bytes) -> Envelope:
-    """Decode an envelope frame produced by :func:`encode_envelope`."""
-    envelope = decode(data)
-    if not isinstance(envelope, Envelope):
-        raise WireFormatError(f"expected an envelope frame, got {type(envelope).__name__}")
+def decode_envelope(data: bytes, *, max_version: int = FRAME_VERSION) -> Envelope:
+    """Decode an envelope frame produced by :func:`encode_envelope`.
+
+    ``max_version`` bounds the wire-format generation of the *nested
+    payload*: a worker running an older protocol generation passes its own
+    (``RealWorkerConfig.wire_generation``), so payloads from newer peers are
+    rejected exactly as its real decoder would reject them — the frame is
+    dropped like a lost message, which is the rolling-upgrade behaviour the
+    mixed-version cluster tests exercise.  The envelope itself is a
+    generation-1 frame, so routing keeps working across generations.
+    """
+    _version, tag, body_start, body_len = read_header(data)
+    if tag != ENVELOPE_TAG:
+        raise WireFormatError(f"expected envelope tag {ENVELOPE_TAG}, got {tag}")
+    body_end = body_start + body_len
+    if body_end != len(data):
+        raise WireFormatError(f"{len(data) - body_end} trailing bytes after frame")
+    try:
+        envelope, pos = _read_envelope_body(data, body_start, max_version=max_version)
+    except WireFormatError:
+        raise
+    except ValueError as exc:
+        raise WireFormatError(f"corrupt envelope body: {exc}") from exc
+    if pos != body_end:
+        raise WireFormatError(
+            f"envelope body consumed {pos - body_start} bytes but frame declared {body_len}"
+        )
     return envelope
 
 
@@ -122,13 +155,14 @@ def send_envelope(connection, envelope: Envelope) -> None:
     connection.send_bytes(encode_envelope(envelope))
 
 
-def recv_envelope(connection) -> Envelope:
+def recv_envelope(connection, *, max_version: int = FRAME_VERSION) -> Envelope:
     """Receive and decode one envelope from a pipe connection.
 
-    Raises :class:`~repro.wire.WireFormatError` on corrupt frames and the
-    usual ``EOFError``/``OSError`` on closed pipes.
+    Raises :class:`~repro.wire.WireFormatError` on corrupt frames (including
+    payloads from a newer wire-format generation than ``max_version``) and
+    the usual ``EOFError``/``OSError`` on closed pipes.
     """
-    return decode_envelope(connection.recv_bytes())
+    return decode_envelope(connection.recv_bytes(), max_version=max_version)
 
 
 class PipeRouter:

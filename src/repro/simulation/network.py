@@ -139,6 +139,17 @@ class Network:
         self.stats = TrafficStats()
         #: Per-entity traffic counters, keyed by sender name.
         self.per_entity: Dict[str, TrafficStats] = {}
+        #: Optional payload-classification hook (``payload -> kind label``).
+        #: The network itself is protocol-agnostic, so the owner installs a
+        #: classifier (the distributed runner passes ``MessageKinds.of``);
+        #: when set, injected traffic is additionally accounted per kind in
+        #: :attr:`kind_bytes` / :attr:`kind_messages` — this is what the
+        #: delta-gossip benchmark reads to compare dissemination costs.
+        self.classify: Optional[Any] = None
+        #: Bytes injected per message kind (only filled when ``classify`` set).
+        self.kind_bytes: Dict[str, int] = {}
+        #: Messages injected per message kind (ditto).
+        self.kind_messages: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -194,6 +205,10 @@ class Network:
         sender_stats.bytes_sent += size
         self.stats.messages_sent += 1
         self.stats.bytes_sent += size
+        if self.classify is not None:
+            kind = self.classify(payload)
+            self.kind_bytes[kind] = self.kind_bytes.get(kind, 0) + size
+            self.kind_messages[kind] = self.kind_messages.get(kind, 0) + 1
 
         destination = self._entities.get(dst)
         if destination is None or not destination.alive:

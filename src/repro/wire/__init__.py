@@ -13,8 +13,9 @@ Layout
 * :mod:`repro.wire.codec` — per-payload body codecs for every protocol
   message: :class:`~repro.core.encoding.PathCode` (packed
   ``(variable << 1) | value`` key paths), ``BestSolution``, ``WorkReport``,
-  ``CompletedTableSnapshot``, the work request/grant/deny messages, and the
-  gossip membership digests.
+  ``CompletedTableSnapshot``, the delta-gossip family (``DeltaSnapshot``,
+  ``DeltaGossipMsg``, ``TableGossipAck``), the work request/grant/deny
+  messages, and the gossip membership digests.
 * :mod:`repro.wire.frame` — the versioned framed-message registry:
   ``encode(msg) -> bytes`` and ``decode(data) -> msg`` with a
   magic/version/tag/length header, strict truncation and corruption
@@ -30,6 +31,7 @@ real encoded sizes within the documented limits.
 from .frame import (
     FRAME_MAGIC,
     FRAME_VERSION,
+    FRAME_VERSION_V1,
     Tag,
     TruncatedFrameError,
     UnknownMessageTagError,
@@ -44,6 +46,7 @@ from .frame import (
 __all__ = [
     "FRAME_MAGIC",
     "FRAME_VERSION",
+    "FRAME_VERSION_V1",
     "Tag",
     "WireFormatError",
     "TruncatedFrameError",

@@ -27,8 +27,15 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from ..core.encoding import PathCode
-from ..core.work_report import BestSolution, CompletedTableSnapshot, WorkReport
+from ..core.work_report import (
+    BestSolution,
+    CompletedTableSnapshot,
+    DeltaSnapshot,
+    WorkReport,
+)
 from ..distributed.messages import (
+    DeltaGossipMsg,
+    TableGossipAck,
     TableGossipMsg,
     WorkDenied,
     WorkGrant,
@@ -40,10 +47,12 @@ from ..gossip.membership import ViewDigest
 from .varint import (
     MalformedVarintError,
     read_bool,
+    read_fixed64,
     read_float64,
     read_string,
     read_uvarint,
     write_bool,
+    write_fixed64,
     write_float64,
     write_string,
     write_uvarint,
@@ -60,6 +69,12 @@ __all__ = [
     "read_work_report",
     "write_table_snapshot",
     "read_table_snapshot",
+    "write_delta_snapshot",
+    "read_delta_snapshot",
+    "write_delta_gossip_msg",
+    "read_delta_gossip_msg",
+    "write_gossip_ack",
+    "read_gossip_ack",
     "write_work_request",
     "read_work_request",
     "write_work_grant",
@@ -226,6 +241,58 @@ def read_table_snapshot(data, pos: int) -> Tuple[CompletedTableSnapshot, int]:
     return CompletedTableSnapshot(sender=sender, codes=frozenset(codes), best=best), pos
 
 
+def write_delta_snapshot(out: bytearray, delta: DeltaSnapshot) -> None:
+    """Append a delta: sender, sequence, full-table digest, incumbent, codes.
+
+    The digest is a fixed 8-byte field (uniform 64-bit values gain nothing
+    from varint packing, and the analytic model charges exactly 8 bytes).
+    """
+    write_string(out, delta.sender)
+    write_uvarint(out, delta.sequence)
+    write_fixed64(out, delta.full_digest)
+    write_best_solution(out, delta.best)
+    _write_code_set(out, delta.codes)
+
+
+def read_delta_snapshot(data, pos: int) -> Tuple[DeltaSnapshot, int]:
+    """Read a delta written by :func:`write_delta_snapshot`."""
+    sender, pos = read_string(data, pos)
+    sequence, pos = read_uvarint(data, pos)
+    full_digest, pos = read_fixed64(data, pos)
+    best, pos = read_best_solution(data, pos)
+    codes, pos = read_code_sequence(data, pos)
+    return (
+        DeltaSnapshot(
+            sender=sender,
+            codes=frozenset(codes),
+            full_digest=full_digest,
+            sequence=sequence,
+            best=best,
+        ),
+        pos,
+    )
+
+
+def write_gossip_ack(out: bytearray, ack: TableGossipAck) -> None:
+    """Append an ack: sender, echoed digest, own table digest, incumbent."""
+    write_string(out, ack.sender)
+    write_fixed64(out, ack.digest)
+    write_fixed64(out, ack.table_digest)
+    write_best_solution(out, ack.best)
+
+
+def read_gossip_ack(data, pos: int) -> Tuple[TableGossipAck, int]:
+    """Read an ack written by :func:`write_gossip_ack`."""
+    sender, pos = read_string(data, pos)
+    digest, pos = read_fixed64(data, pos)
+    table_digest, pos = read_fixed64(data, pos)
+    best, pos = read_best_solution(data, pos)
+    return (
+        TableGossipAck(sender=sender, digest=digest, table_digest=table_digest, best=best),
+        pos,
+    )
+
+
 # ---------------------------------------------------------------------- #
 # Load-balancing messages
 # ---------------------------------------------------------------------- #
@@ -341,3 +408,14 @@ def read_table_gossip_msg(data, pos: int) -> Tuple[TableGossipMsg, int]:
     """Read a gossip envelope."""
     snapshot, pos = read_table_snapshot(data, pos)
     return TableGossipMsg(snapshot), pos
+
+
+def write_delta_gossip_msg(out: bytearray, msg: DeltaGossipMsg) -> None:
+    """A delta-gossip envelope is body-identical to its delta."""
+    write_delta_snapshot(out, msg.delta)
+
+
+def read_delta_gossip_msg(data, pos: int) -> Tuple[DeltaGossipMsg, int]:
+    """Read a delta-gossip envelope."""
+    delta, pos = read_delta_snapshot(data, pos)
+    return DeltaGossipMsg(delta), pos

@@ -9,11 +9,18 @@ Frame layout (see ``docs/WIRE_FORMAT.md``)::
 * ``magic`` is the single byte ``0xB5``; anything else is rejected
   immediately, so pickled or foreign traffic can never be mistaken for a
   protocol frame.
-* ``version`` is the format generation.  Decoders accept exactly the
-  versions they know (currently only ``1``) and raise
-  :class:`UnsupportedVersionError` otherwise — a future version bump can
-  then ship a compatibility decoder without ambiguity about what the peer
-  meant.
+* ``version`` is the format generation.  Every message tag belongs to the
+  generation that introduced it (:data:`_TAG_VERSIONS`), and the encoder
+  stamps each frame with its tag's generation — so generation-1 messages
+  keep producing byte-identical generation-1 frames that old decoders still
+  accept, while new message types announce themselves as generation 2.
+  Decoders accept every generation up to the one they implement
+  (``decode(..., max_version=...)`` lowers that bound, which is how the
+  mixed-version rolling-upgrade tests model an old binary) and raise
+  :class:`UnsupportedVersionError` beyond it.  A frame whose declared
+  version is *older* than its tag's generation is corrupt
+  (:class:`WireFormatError`): a generation-1 frame cannot carry a
+  generation-2 message.
 * ``tag`` identifies the message type (:class:`Tag`).
 * ``body-len`` is the exact body size in bytes.  A frame whose buffer is
   shorter than the declared body is :class:`TruncatedFrameError`; a body
@@ -34,8 +41,15 @@ import enum
 from typing import Callable, Dict, Tuple, Type
 
 from ..core.encoding import PathCode
-from ..core.work_report import BestSolution, CompletedTableSnapshot, WorkReport
+from ..core.work_report import (
+    BestSolution,
+    CompletedTableSnapshot,
+    DeltaSnapshot,
+    WorkReport,
+)
 from ..distributed.messages import (
+    DeltaGossipMsg,
+    TableGossipAck,
     TableGossipMsg,
     WorkDenied,
     WorkGrant,
@@ -49,6 +63,7 @@ from .varint import read_uvarint, write_uvarint
 __all__ = [
     "FRAME_MAGIC",
     "FRAME_VERSION",
+    "FRAME_VERSION_V1",
     "Tag",
     "WireFormatError",
     "TruncatedFrameError",
@@ -63,8 +78,11 @@ __all__ = [
 
 #: First byte of every frame.
 FRAME_MAGIC = 0xB5
-#: Current wire-format generation.
-FRAME_VERSION = 1
+#: Current wire-format generation (2 added the delta-gossip family).
+FRAME_VERSION = 2
+#: The original generation; generation-1 messages still encode as v1 frames
+#: so generation-1 decoders keep accepting them during rolling upgrades.
+FRAME_VERSION_V1 = 1
 
 
 class WireFormatError(ValueError):
@@ -99,6 +117,10 @@ class Tag(enum.IntEnum):
     VIEW_DIGEST = 10
     VIEW_GOSSIP = 11
     JOIN_ANNOUNCEMENT = 12
+    # -- generation 2: the delta-gossip family --
+    DELTA_SNAPSHOT = 13
+    DELTA_GOSSIP_MSG = 14
+    TABLE_GOSSIP_ACK = 15
 
     #: First tag available to transport-level extensions (realexec).
     EXTENSION_BASE = 16
@@ -109,55 +131,86 @@ _Reader = Callable[[object, int], Tuple[object, int]]
 
 _writers: Dict[Type, Tuple[int, _Writer]] = {}
 _readers: Dict[int, _Reader] = {}
+#: Wire-format generation each tag belongs to (the generation that
+#: introduced it).  Frames are stamped with their tag's generation.
+_tag_versions: Dict[int, int] = {}
 
 
-def register(tag: int, cls: Type, writer: _Writer, reader: _Reader) -> None:
+def register(
+    tag: int, cls: Type, writer: _Writer, reader: _Reader, *, version: int = FRAME_VERSION_V1
+) -> None:
     """Register a message type with the frame codec.
 
     ``writer(out, msg)`` appends the body; ``reader(data, pos)`` parses it
-    and returns ``(msg, new_pos)``.  Used below for the core protocol and by
-    the ``realexec`` transport for its extension messages.
+    and returns ``(msg, new_pos)``.  ``version`` is the format generation
+    the message belongs to: frames carrying it are stamped with that
+    generation, so adding a generation-2 message never changes the bytes of
+    generation-1 traffic.  Used below for the core protocol and by the
+    ``realexec`` transport for its extension messages (see the "adding a new
+    message" how-to in ``docs/WIRE_FORMAT.md``).
     """
     tag = int(tag)
+    if not (FRAME_VERSION_V1 <= version <= FRAME_VERSION):
+        raise ValueError(f"unknown wire-format generation {version}")
     existing = _readers.get(tag)
     if existing is not None and _writers.get(cls, (None,))[0] != tag:
         raise ValueError(f"wire tag {tag} is already registered")
     _writers[cls] = (tag, writer)
     _readers[tag] = reader
+    _tag_versions[tag] = version
 
 
-for _tag, _cls, _writer, _reader in (
-    (Tag.PATH_CODE, PathCode, codec.write_path_code, codec.read_path_code),
-    (Tag.BEST_SOLUTION, BestSolution, codec.write_best_solution, codec.read_best_solution),
-    (Tag.WORK_REPORT, WorkReport, codec.write_work_report, codec.read_work_report),
+for _tag, _cls, _writer, _reader, _version in (
+    (Tag.PATH_CODE, PathCode, codec.write_path_code, codec.read_path_code, 1),
+    (Tag.BEST_SOLUTION, BestSolution, codec.write_best_solution, codec.read_best_solution, 1),
+    (Tag.WORK_REPORT, WorkReport, codec.write_work_report, codec.read_work_report, 1),
     (
         Tag.TABLE_SNAPSHOT,
         CompletedTableSnapshot,
         codec.write_table_snapshot,
         codec.read_table_snapshot,
+        1,
     ),
-    (Tag.WORK_REQUEST, WorkRequest, codec.write_work_request, codec.read_work_request),
-    (Tag.WORK_GRANT, WorkGrant, codec.write_work_grant, codec.read_work_grant),
-    (Tag.WORK_DENIED, WorkDenied, codec.write_work_denied, codec.read_work_denied),
-    (Tag.WORK_REPORT_MSG, WorkReportMsg, codec.write_work_report_msg, codec.read_work_report_msg),
+    (Tag.WORK_REQUEST, WorkRequest, codec.write_work_request, codec.read_work_request, 1),
+    (Tag.WORK_GRANT, WorkGrant, codec.write_work_grant, codec.read_work_grant, 1),
+    (Tag.WORK_DENIED, WorkDenied, codec.write_work_denied, codec.read_work_denied, 1),
+    (
+        Tag.WORK_REPORT_MSG,
+        WorkReportMsg,
+        codec.write_work_report_msg,
+        codec.read_work_report_msg,
+        1,
+    ),
     (
         Tag.TABLE_GOSSIP_MSG,
         TableGossipMsg,
         codec.write_table_gossip_msg,
         codec.read_table_gossip_msg,
+        1,
     ),
     # Bare membership digests are plain tuples; ``encode`` special-cases the
     # ``tuple`` type to this tag.
-    (Tag.VIEW_DIGEST, tuple, codec.write_view_digest, codec.read_view_digest),
-    (Tag.VIEW_GOSSIP, ViewGossip, codec.write_view_gossip, codec.read_view_gossip),
+    (Tag.VIEW_DIGEST, tuple, codec.write_view_digest, codec.read_view_digest, 1),
+    (Tag.VIEW_GOSSIP, ViewGossip, codec.write_view_gossip, codec.read_view_gossip, 1),
     (
         Tag.JOIN_ANNOUNCEMENT,
         JoinAnnouncement,
         codec.write_join_announcement,
         codec.read_join_announcement,
+        1,
     ),
+    # -- generation 2: delta gossip --
+    (Tag.DELTA_SNAPSHOT, DeltaSnapshot, codec.write_delta_snapshot, codec.read_delta_snapshot, 2),
+    (
+        Tag.DELTA_GOSSIP_MSG,
+        DeltaGossipMsg,
+        codec.write_delta_gossip_msg,
+        codec.read_delta_gossip_msg,
+        2,
+    ),
+    (Tag.TABLE_GOSSIP_ACK, TableGossipAck, codec.write_gossip_ack, codec.read_gossip_ack, 2),
 ):
-    register(_tag, _cls, _writer, _reader)
+    register(_tag, _cls, _writer, _reader, version=_version)
 
 
 # ---------------------------------------------------------------------- #
@@ -178,7 +231,10 @@ def encode(msg: object) -> bytes:
     tag, writer = entry
     body = bytearray()
     writer(body, msg)
-    out = bytearray((FRAME_MAGIC, FRAME_VERSION))
+    # A frame is stamped with its *tag's* generation, not the library's:
+    # generation-1 messages keep producing byte-identical v1 frames that
+    # old decoders accept, which is what makes rolling upgrades possible.
+    out = bytearray((FRAME_MAGIC, _tag_versions.get(tag, FRAME_VERSION)))
     write_uvarint(out, tag)
     write_uvarint(out, len(body))
     out += body
@@ -193,8 +249,15 @@ def encoded_size(msg: object) -> int:
 # ---------------------------------------------------------------------- #
 # Decoding
 # ---------------------------------------------------------------------- #
-def read_header(data) -> Tuple[int, int, int, int]:
-    """Validate the frame header; returns ``(version, tag, body_start, body_len)``."""
+def read_header(data, *, max_version: int = FRAME_VERSION) -> Tuple[int, int, int, int]:
+    """Validate the frame header; returns ``(version, tag, body_start, body_len)``.
+
+    ``max_version`` is the newest generation the caller implements: frames
+    declaring a newer one raise :class:`UnsupportedVersionError`.  Passing
+    ``max_version=1`` makes this decoder behave exactly like the original
+    generation-1 release — the mixed-version cluster tests use that to model
+    not-yet-upgraded peers.
+    """
     if len(data) == 0:
         raise TruncatedFrameError("empty buffer")
     if data[0] != FRAME_MAGIC:
@@ -202,7 +265,7 @@ def read_header(data) -> Tuple[int, int, int, int]:
     if len(data) < 2:
         raise TruncatedFrameError("frame ends inside the header")
     version = data[1]
-    if version != FRAME_VERSION:
+    if not (FRAME_VERSION_V1 <= version <= max_version):
         raise UnsupportedVersionError(f"unsupported wire-format version {version}")
     try:
         tag, pos = read_uvarint(data, 2)
@@ -216,15 +279,29 @@ def read_header(data) -> Tuple[int, int, int, int]:
     return version, tag, pos, body_len
 
 
-def decode(data) -> object:
-    """Decode one framed message; the buffer must contain exactly one frame."""
-    _version, tag, body_start, body_len = read_header(data)
+def decode(data, *, max_version: int = FRAME_VERSION) -> object:
+    """Decode one framed message; the buffer must contain exactly one frame.
+
+    ``max_version`` bounds the accepted format generation (see
+    :func:`read_header`); the compatibility rules between a frame's declared
+    generation and its tag's generation are spelled out in
+    ``docs/WIRE_FORMAT.md``.
+    """
+    version, tag, body_start, body_len = read_header(data, max_version=max_version)
     body_end = body_start + body_len
     if body_end != len(data):
         raise WireFormatError(f"{len(data) - body_end} trailing bytes after frame")
     reader = _readers.get(tag)
     if reader is None:
         raise UnknownMessageTagError(f"unknown message tag {tag}")
+    required = _tag_versions.get(tag, FRAME_VERSION)
+    if version < required:
+        # A generation-1 frame cannot carry a generation-2 message: whatever
+        # produced these bytes was not speaking the protocol.
+        raise WireFormatError(
+            f"tag {tag} belongs to wire-format generation {required} "
+            f"but the frame declares generation {version}"
+        )
     try:
         msg, pos = reader(data, body_start)
     except WireFormatError:

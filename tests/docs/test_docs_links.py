@@ -1,0 +1,100 @@
+"""Documentation cross-reference checker: the docs cannot rot silently.
+
+Three families of references are validated against the working tree:
+
+* **markdown links** ``[text](target)`` in every ``docs/*.md`` file and in
+  ``ROADMAP.md`` whose target is a relative path (external URLs and pure
+  anchors are skipped) must point at an existing file or directory;
+* **repo paths** named in backticks (``docs/...``, ``benchmarks/...``,
+  ``tests/...``, ``examples/...``, ``src/...``) in the same files must
+  exist — a glob pattern must match at least one file; and
+* **module paths** (``repro.foo.bar``) named in ROADMAP.md and
+  ``docs/ARCHITECTURE.md`` must resolve to real modules of the source tree.
+
+The checker is deliberately conservative: it only asserts about reference
+shapes it positively recognises, so prose stays free.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOCS = sorted((REPO_ROOT / "docs").glob("*.md"))
+DOC_FILES = DOCS + [REPO_ROOT / "ROADMAP.md"]
+
+#: Backticked tokens that look like repo-relative paths.
+_PATH_RE = re.compile(
+    r"`((?:docs|benchmarks|tests|examples|src)/[A-Za-z0-9_./*\-]+)`"
+)
+#: Backticked tokens that look like module paths rooted at ``repro``.
+_MODULE_RE = re.compile(r"`(repro(?:\.[a-zA-Z_][a-zA-Z0-9_]*)+)")
+#: Markdown links (ignores images; targets split off any #anchor).
+_LINK_RE = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def _module_exists(dotted: str) -> bool:
+    parts = dotted.split(".")
+    base = REPO_ROOT / "src" / Path(*parts)
+    return base.with_suffix(".py").exists() or (base / "__init__.py").exists()
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_markdown_links_resolve(doc):
+    text = doc.read_text()
+    broken = []
+    for target in _LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = (doc.parent / target.split("#", 1)[0]).resolve()
+        if not path.exists():
+            broken.append(target)
+    assert not broken, f"{doc.name}: broken markdown links: {broken}"
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_backticked_repo_paths_exist(doc):
+    text = doc.read_text()
+    broken = []
+    for token in _PATH_RE.findall(text):
+        token = token.rstrip(".")
+        if "*" in token:
+            if not list(REPO_ROOT.glob(token)):
+                broken.append(token)
+        elif not (REPO_ROOT / token).exists():
+            broken.append(token)
+    assert not broken, f"{doc.name}: repo paths that do not exist: {broken}"
+
+
+@pytest.mark.parametrize(
+    "doc",
+    [REPO_ROOT / "ROADMAP.md", REPO_ROOT / "docs" / "ARCHITECTURE.md"],
+    ids=lambda p: p.name,
+)
+def test_named_module_paths_exist(doc):
+    text = doc.read_text()
+    broken = sorted(
+        {
+            dotted
+            for dotted in _MODULE_RE.findall(text)
+            if not _module_exists(dotted)
+        }
+    )
+    assert not broken, f"{doc.name}: module paths that do not resolve: {broken}"
+
+
+def test_docs_directory_is_covered():
+    """Every docs/*.md file is reachable from ROADMAP.md or another doc —
+    an unreferenced spec is a spec nobody will find."""
+    referenced = set()
+    for doc in DOC_FILES:
+        for target in _LINK_RE.findall(doc.read_text()):
+            if not target.startswith(("http://", "https://", "mailto:", "#")):
+                referenced.add((doc.parent / target.split("#", 1)[0]).resolve())
+        for token in _PATH_RE.findall(doc.read_text()):
+            candidate = REPO_ROOT / token
+            if candidate.suffix == ".md":
+                referenced.add(candidate.resolve())
+    unreferenced = [doc.name for doc in DOCS if doc.resolve() not in referenced]
+    assert not unreferenced, f"docs never referenced anywhere: {unreferenced}"
