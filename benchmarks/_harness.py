@@ -14,8 +14,8 @@ down by default and reports the effective size.  Environment variables:
 
 Performance-regression workflow (tracked trajectory)
 ----------------------------------------------------
-``bench_core_micro.py``, ``bench_wire_codec.py`` and
-``bench_delta_gossip.py`` (the tuple ``BENCH_FILES`` in
+``bench_core_micro.py``, ``bench_wire_codec.py``, ``bench_delta_gossip.py``
+and ``bench_scenario_overhead.py`` (the tuple ``BENCH_FILES`` in
 ``compare_baseline.py``) are additionally tracked against a checked-in
 baseline so PRs touching the hot paths can show their effect:
 

@@ -1,0 +1,92 @@
+"""SCEN-OVH — the Scenario facade must not tax the simulator.
+
+The unified Scenario API routes every experiment through
+``Scenario`` → backend dispatch → ``run_tree_simulation`` → result
+normalisation.  That indirection buys one declarative entry point for four
+backends, and it must stay free: this benchmark runs the figure-3 workload
+both ways — the facade vs. calling the distributed runner directly with
+identical parameters — and **gates the facade at <5% wall-clock overhead**
+(median of interleaved runs; a small absolute epsilon absorbs scheduler
+noise on sub-second runs).
+
+The facade timing is additionally tracked against
+``benchmarks/BENCH_BASELINE.json`` by ``compare_baseline.py``, so a PR that
+fattens the scenario layer shows up on the same trajectory as the hot-path
+benchmarks.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from _harness import effective_scale, print_experiment
+from repro.analysis.figures import figure3_tree
+from repro.bnb.pool import SelectionRule
+from repro.distributed import AlgorithmConfig, run_tree_simulation
+from repro.scenario import Scenario, WorkloadSpec, run_scenario
+
+#: Interleaved measurement rounds per side (medians compared).
+ROUNDS = 3
+#: The gate: facade median must stay below direct median × this factor…
+OVERHEAD_FACTOR = 1.05
+#: …plus this absolute epsilon (seconds), absorbing timer/scheduler noise.
+OVERHEAD_EPSILON = 0.02
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="scenario_overhead")
+def test_scenario_facade_overhead(benchmark):
+    scale = effective_scale(0.3)
+    tree = figure3_tree(scale=scale, seed=7)
+    config = AlgorithmConfig(selection_rule=SelectionRule.DEPTH_FIRST)
+    scenario = Scenario(
+        name="figure3-overhead",
+        workload=WorkloadSpec(kind="tree", tree=tree),
+        n_workers=8,
+        seed=7,
+        config=config,
+    )
+
+    def direct():
+        # The pre-facade entry point, with the exact parameters the
+        # simulated backend forwards for this scenario.
+        return run_tree_simulation(
+            tree, 8, config=config, seed=7, prune=False, compute_uniprocessor_time=False
+        )
+
+    def facade():
+        return run_scenario(scenario, backend="simulated")
+
+    # Sanity first: both paths must be running the same experiment.
+    direct_result = direct()
+    facade_result = facade()
+    assert facade_result.best_value == direct_result.best_value
+    assert facade_result.terminated and direct_result.all_terminated
+    assert facade_result.makespan == pytest.approx(direct_result.makespan)
+
+    direct_times, facade_times = [], []
+    for _ in range(ROUNDS):
+        direct_times.append(_timed(direct))
+        facade_times.append(_timed(facade))
+    direct_median = statistics.median(direct_times)
+    facade_median = statistics.median(facade_times)
+    overhead = facade_median / direct_median - 1.0
+
+    benchmark.pedantic(facade, rounds=1, iterations=1)
+    print_experiment(
+        f"SCENARIO FACADE OVERHEAD — figure-3 workload (scale={scale:g}, 8 workers)",
+        f"direct runner : {direct_median * 1e3:9.2f} ms (median of {ROUNDS})\n"
+        f"scenario API  : {facade_median * 1e3:9.2f} ms (median of {ROUNDS})\n"
+        f"overhead      : {overhead:+.2%}  (gate: <{OVERHEAD_FACTOR - 1.0:.0%} "
+        f"+ {OVERHEAD_EPSILON * 1e3:.0f} ms epsilon)",
+    )
+    assert facade_median <= direct_median * OVERHEAD_FACTOR + OVERHEAD_EPSILON, (
+        f"scenario facade overhead {overhead:+.2%} exceeds the gate: "
+        f"facade {facade_median:.4f}s vs direct {direct_median:.4f}s"
+    )

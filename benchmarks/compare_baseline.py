@@ -40,6 +40,7 @@ BENCH_FILES = (
     HERE / "bench_core_micro.py",
     HERE / "bench_wire_codec.py",
     HERE / "bench_delta_gossip.py",
+    HERE / "bench_scenario_overhead.py",
 )
 
 #: Where the tracked-benchmark set is documented.  When a tracked benchmark

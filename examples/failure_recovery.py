@@ -1,140 +1,24 @@
 #!/usr/bin/env python3
-"""Fault-tolerance stress scenarios: lose almost everything, still finish.
+"""Fault-tolerance comparison: one scenario, three designs, two crash storms.
 
-The paper guarantees that "the loss of up to all but one resource will not
-affect the quality of the solution".  This example exercises that guarantee
-under progressively nastier conditions and compares the behaviour with the
-two baseline designs (a DIB-style decentralised algorithm with responsibility
-tracking, and a centralised manager/worker scheme):
+The registered ``crash-storm`` scenario (half of six workers crash mid-run)
+runs unmodified on the ``simulated``, ``central`` and ``dib`` backends; a
+second variant crashes each design's *critical* node (worker-00, the DIB
+root machine, the central manager).  Only the paper's mechanism survives both.
 
-* crash 1, half, and all-but-one of the workers mid-run;
-* add 20% message loss on top;
-* add a temporary network partition on top;
-* crash the *critical* node of each baseline (the DIB root machine, the
-  central manager) and observe that only the paper's mechanism still finishes.
-
-Run it with::
-
-    python examples/failure_recovery.py
+Run it with::  PYTHONPATH=src python examples/failure_recovery.py
 """
 
-from repro.analysis import format_table
-from repro.baselines import run_central_simulation, run_dib_simulation
-from repro.bnb import TreeReplayProblem, generate_random_tree, RandomTreeSpec
-from repro.bnb.pool import SelectionRule
-from repro.distributed import AlgorithmConfig, NetworkConfig, run_tree_simulation, worker_names
-from repro.simulation import CrashEvent, Partition
+from repro.scenario import CRITICAL, FailureSpec, compare_backends, format_comparison, get_scenario
 
-
-def main() -> None:
-    n_workers = 6
-    tree = generate_random_tree(
-        RandomTreeSpec(nodes=401, mean_node_time=0.02, seed=5, name="ft-stress-tree")
-    )
-    optimum = tree.optimal_value()
-    config = AlgorithmConfig(selection_rule=SelectionRule.DEPTH_FIRST)
-    names = worker_names(n_workers)
-    print(f"Workload: {tree.name}, {len(tree)} nodes, optimum {optimum:.4f}, {n_workers} workers\n")
-
-    baseline = run_tree_simulation(tree, n_workers, config=config, seed=3, prune=False)
-    half_time = 0.5 * baseline.makespan
-
-    # ------------------------------------------------------------------ #
-    # Crash scenarios for the paper's algorithm.
-    # ------------------------------------------------------------------ #
-    scenarios = [
-        ("no failures", [], 0.0, None),
-        ("1 crash", names[1:2], 0.0, None),
-        (f"{n_workers // 2} crashes", names[1 : 1 + n_workers // 2], 0.0, None),
-        ("all but one crash", names[1:], 0.0, None),
-        ("all but one + 20% loss", names[1:], 0.2, None),
-        (
-            "all but one + partition",
-            names[1:],
-            0.0,
-            Partition(
-                start=0.2 * baseline.makespan,
-                end=0.4 * baseline.makespan,
-                group_a=frozenset(names[: n_workers // 2]),
-                group_b=frozenset(names[n_workers // 2 :]),
-            ),
-        ),
-    ]
-
-    rows = []
-    for label, victims, loss, partition in scenarios:
-        network = NetworkConfig(
-            loss_probability=loss, partitions=(partition,) if partition else ()
-        )
-        result = run_tree_simulation(
-            tree,
-            n_workers,
-            config=config,
-            seed=3,
-            prune=False,
-            network=network,
-            failures=[CrashEvent(half_time, victim) for victim in victims],
-        )
-        rows.append(
-            {
-                "scenario": label,
-                "crashed": len(result.crashed_workers),
-                "makespan_s": round(result.makespan, 2),
-                "vs_no_failure": round(result.makespan / baseline.makespan, 2),
-                "recoveries": sum(w.recovery_activations for w in result.workers.values()),
-                "redundant_work": round(result.redundant_work_fraction(), 3),
-                "terminated": result.all_terminated,
-                "correct": result.solved_correctly,
-            }
-        )
-    print(format_table(rows, title="--- the paper's mechanism under increasing failure pressure ---"))
-    assert all(row["correct"] and row["terminated"] for row in rows)
-
-    # ------------------------------------------------------------------ #
-    # Critical-node crash: ours vs DIB-style vs centralised.
-    # ------------------------------------------------------------------ #
-    problem = TreeReplayProblem(tree, prune=False)
-    ours = run_tree_simulation(
-        tree, n_workers, config=config, seed=3, prune=False,
-        failures=[CrashEvent(half_time, names[0])],
-    )
-    dib = run_dib_simulation(
-        problem, n_workers, seed=3,
-        failures=[CrashEvent(half_time, "dworker-00")],
-        max_sim_time=20 * baseline.makespan,
-    )
-    central = run_central_simulation(
-        problem, n_workers, seed=3,
-        failures=[CrashEvent(half_time, "manager")],
-        max_sim_time=20 * baseline.makespan,
-    )
-    comparison = [
-        {
-            "design": "this paper (decentralised, tree codes)",
-            "critical node": names[0],
-            "terminated": ours.all_terminated,
-            "correct": ours.solved_correctly,
-        },
-        {
-            "design": "DIB-style (responsibility tree)",
-            "critical node": "dworker-00 (root machine)",
-            "terminated": dib.terminated,
-            "correct": dib.terminated,
-        },
-        {
-            "design": "centralised manager/worker",
-            "critical node": "manager",
-            "terminated": central.terminated,
-            "correct": central.terminated,
-        },
-    ]
-    print()
-    print(format_table(comparison, title="--- crash the design's most critical node ---"))
-    print(
-        "\nOnly the paper's mechanism has no critical node: every member is equally\n"
-        "responsible, so losing any one of them (or all but one) is survivable."
-    )
-
-
-if __name__ == "__main__":
-    main()
+storm = get_scenario("crash-storm")
+results = compare_backends(storm)
+print(format_comparison(results, title="--- half the workers crash at 50% ---"), "\n")
+critical = storm.with_overrides(
+    name="critical-crash", failures=(FailureSpec(victims=(CRITICAL,), at_fraction=0.5),)
+)
+crit = compare_backends(critical)
+print(format_comparison(crit, title="--- crash the design's most critical node ---"))
+assert results["simulated"].solved_correctly and crit["simulated"].solved_correctly
+assert not crit["dib"].terminated and not crit["central"].terminated
+print("\nOnly the paper's mechanism has no critical node: losing any member is survivable.")

@@ -1,86 +1,25 @@
 #!/usr/bin/env python3
-"""Solving a real optimisation problem end-to-end.
+"""A real optimisation problem end-to-end, as a declarative worker sweep.
 
-The paper drives its simulator with *basic trees* recorded from an
-instrumented branch-and-bound application.  This example walks that full
-pipeline on a 0/1 knapsack instance:
+The ``knapsack`` workload kind runs the paper's full pipeline: solve a random
+0/1 knapsack sequentially, record its basic tree, attach a ~20 ms/node cost
+model, replay it distributed with best-first pools and dynamic pruning.
 
-1. generate a random knapsack instance and solve it sequentially (reference);
-2. record its basic tree with the instrumented solver;
-3. attach a synthetic per-node cost model (as if each bound computation took
-   ~20 ms);
-4. replay the tree through the distributed algorithm on 2, 4 and 8 simulated
-   workers, with dynamic pruning against the circulating best-known solution;
-5. compare answers and report speedup and overhead.
-
-Run it with::
-
-    python examples/knapsack_distributed.py
+Run it with::  PYTHONPATH=src python examples/knapsack_distributed.py
 """
 
 from repro.analysis import format_table
-from repro.bnb import (
-    NodeTimeModel,
-    SequentialSolver,
-    TreeReplayProblem,
-    assign_node_times,
-    random_knapsack,
-    record_basic_tree,
+from repro.distributed import AlgorithmConfig
+from repro.scenario import Scenario, WorkloadSpec, run_scenario
+
+BASE = Scenario(
+    name="knapsack-14",
+    workload=WorkloadSpec(kind="knapsack", nodes=14, mean_node_time=0.02, seed=42),
+    config=AlgorithmConfig(),  # best-first pools, paper-default mechanisms
+    prune=True,
+    compute_uniprocessor_time=True,
+    seed=7,
 )
-from repro.distributed import AlgorithmConfig, run_tree_simulation
-
-
-def main() -> None:
-    # ------------------------------------------------------------------ #
-    # 1. A concrete optimisation problem, solved sequentially.
-    # ------------------------------------------------------------------ #
-    problem = random_knapsack(14, seed=42)
-    reference = SequentialSolver(problem).solve()
-    print(
-        f"Knapsack with {problem.instance.n_items} items, capacity {problem.instance.capacity}:"
-    )
-    print(
-        f"  sequential optimum {reference.best_value:.2f} "
-        f"({reference.nodes_expanded} nodes expanded, DP check {problem.solve_exact():.2f})\n"
-    )
-
-    # ------------------------------------------------------------------ #
-    # 2-3. Record the basic tree and attach a cost model.
-    # ------------------------------------------------------------------ #
-    tree = record_basic_tree(problem, name="knapsack-14")
-    tree = assign_node_times(tree, NodeTimeModel(mean=0.02, cv=0.4, seed=1))
-    print(f"Recorded basic tree: {len(tree)} nodes, mean node cost {tree.mean_node_time()*1000:.1f} ms")
-    print(f"  tree optimum {tree.optimal_value():.2f}\n")
-
-    # ------------------------------------------------------------------ #
-    # 4. Distributed replay with dynamic pruning (prune=True).
-    # ------------------------------------------------------------------ #
-    config = AlgorithmConfig()  # best-first pools, paper-default mechanisms
-    rows = []
-    for n_workers in (1, 2, 4, 8):
-        result = run_tree_simulation(
-            tree, n_workers, config=config, seed=7, prune=True
-        )
-        rows.append(
-            {
-                "workers": n_workers,
-                "makespan_s": round(result.makespan, 3),
-                "speedup": round(result.speedup() or 0.0, 2),
-                "nodes_expanded": result.total_nodes_expanded,
-                "bb_time_pct": round(result.bb_time_percent(), 1),
-                "overhead_pct": round(result.overhead_percent(), 1),
-                "best_value": round(result.best_value, 2),
-                "correct": result.solved_correctly,
-            }
-        )
-    print(format_table(rows, title="--- distributed replay (dynamic pruning) ---"))
-
-    # ------------------------------------------------------------------ #
-    # 5. Sanity: every configuration found the sequential optimum.
-    # ------------------------------------------------------------------ #
-    assert all(row["correct"] for row in rows)
-    print("\nAll worker counts found the sequential optimum.")
-
-
-if __name__ == "__main__":
-    main()
+rows = [run_scenario(BASE.with_overrides(n_workers=n)).as_row() for n in (1, 2, 4, 8)]
+print(format_table(rows, title="--- distributed knapsack replay (dynamic pruning) ---"))
+assert all(row["correct"] for row in rows), "every worker count must find the optimum"

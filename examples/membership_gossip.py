@@ -1,99 +1,24 @@
 #!/usr/bin/env python3
-"""The epidemic group-membership protocol on a simulated, unreliable network.
+"""Dynamic membership as a scenario: a late joiner, then a crash storm.
 
-Section 5.2 of the paper manages the dynamically changing pool of resources
-with a gossip-style membership protocol: new members announce themselves to a
-well-known gossip server, views spread epidemically, and members that go
-silent are suspected and eventually dropped.  This example shows the protocol
-in action:
+The registered ``late-joiner`` scenario isolates worker-03 behind a network
+partition for the first simulated second — it joins the running computation
+late, knowing nothing — then heals and catches up via work reports and
+first-contact table deltas.  A second variant adds two crashes on top.  (The
+epidemic membership protocol itself lives in ``repro.gossip``.)
 
-1. a gossip server plus five founding members discover each other;
-2. three more members join while the computation is already running;
-3. 10% of all messages are lost — the views still converge;
-4. two members crash silently and everybody else eventually drops them.
-
-Run it with::
-
-    python examples/membership_gossip.py
+Run it with::  PYTHONPATH=src python examples/membership_gossip.py
 """
 
-from repro.analysis import format_table
-from repro.gossip import GossipMemberEntity, GossipServerEntity, MembershipConfig
-from repro.simulation import Network, RngRegistry, SimulationEngine
+from repro.scenario import FailureSpec, get_scenario, run_scenario
 
-
-def snapshot(label, engine, members):
-    rows = []
-    for member in members:
-        rows.append(
-            {
-                "member": member.name,
-                "alive": member.alive,
-                "view_size": len(member.current_view()) if member.alive else 0,
-                "view": ",".join(member.current_view()) if member.alive else "(crashed)",
-                "suspects": ",".join(member.suspected()) if member.alive else "",
-            }
-        )
-    print(format_table(rows, title=f"--- t={engine.now:.1f}s: {label} ---"))
-    print()
-
-
-def main() -> None:
-    config = MembershipConfig(
-        gossip_interval=0.5, failure_timeout=4.0, cleanup_timeout=8.0, gossip_fanout=2
-    )
-    rng = RngRegistry(11)
-    engine = SimulationEngine()
-    network = Network(engine, loss_probability=0.10, rng=rng.stream("net"))
-
-    server = GossipServerEntity("gossip-server", config, rng=rng.stream("server"))
-    network.register(server)
-    server.on_start()
-
-    founders = []
-    for i in range(5):
-        member = GossipMemberEntity(
-            f"member-{i}", config, gossip_servers=["gossip-server"], rng=rng.stream(f"m{i}")
-        )
-        network.register(member)
-        member.on_start()
-        founders.append(member)
-
-    engine.run(until=6.0)
-    snapshot("founding members have discovered each other", engine, founders)
-
-    # ------------------------------------------------------------------ #
-    # Late joiners.
-    # ------------------------------------------------------------------ #
-    joiners = []
-    for i in range(5, 8):
-        member = GossipMemberEntity(
-            f"member-{i}", config, gossip_servers=["gossip-server"], rng=rng.stream(f"m{i}")
-        )
-        network.register(member)
-        member.on_start()
-        joiners.append(member)
-    all_members = founders + joiners
-
-    engine.run(until=14.0)
-    snapshot("three members joined mid-computation", engine, all_members)
-
-    # ------------------------------------------------------------------ #
-    # Silent crashes.
-    # ------------------------------------------------------------------ #
-    all_members[1].crash()
-    all_members[6].crash()
-    engine.run(until=30.0)
-    snapshot("member-1 and member-6 crashed silently", engine, all_members)
-
-    living = [m for m in all_members if m.alive]
-    for member in living:
-        view = set(member.current_view())
-        assert "member-1" not in view and "member-6" not in view, member.name
-    print("Every surviving member has dropped the two crashed members from its view.")
-    print(f"Total membership traffic: {network.stats.messages_sent} messages, "
-          f"{network.stats.messages_lost} lost ({network.stats.messages_lost / max(1, network.stats.messages_sent):.0%}).")
-
-
-if __name__ == "__main__":
-    main()
+joiner = get_scenario("late-joiner")
+calm = run_scenario(joiner, backend="simulated")
+print(calm.report(title="--- worker-03 joins late (partitioned 1 s) ---"), "\n")
+stormy = joiner.with_overrides(
+    name="late-joiner+crashes", failures=(FailureSpec(victims=(1, 2), at_fraction=0.6),)
+)
+churn = run_scenario(stormy, backend="simulated")
+print(churn.report(title="--- same, plus two crashes at 60% ---"))
+assert calm.solved_correctly and churn.solved_correctly
+print("\nJoin-late plus crash-early churn: the group still terminates on the optimum.")

@@ -1,77 +1,19 @@
 #!/usr/bin/env python3
-"""Quickstart: solve a small problem with the fault-tolerant distributed B&B.
+"""Quickstart: the paper's Figures 5/6 demonstration via the Scenario API.
 
-This example reproduces, in miniature, the demonstration of the paper's
-Figures 5 and 6:
+The registered ``quickstart`` scenario (tiny tree, three simulated workers,
+two of them crashing at 85% of the failure-free execution time) runs twice —
+without and with the crashes — and the survivor still finds the optimum.
 
-1. build a small search tree (the kind of "basic tree" the paper's simulator
-   is driven by);
-2. run the fully decentralised, fault-tolerant branch-and-bound algorithm on a
-   simulated group of three Internet-connected workers; and
-3. run it again with two of the three workers crashing mid-execution, and
-   check that the survivor recovers the lost work and still finds the optimum.
-
-Run it with::
-
-    python examples/quickstart.py
+Run it with::  PYTHONPATH=src python examples/quickstart.py
 """
 
-from repro.analysis import format_kv
-from repro.bnb import paper_workload
-from repro.distributed import AlgorithmConfig, run_tree_simulation, worker_names
-from repro.bnb.pool import SelectionRule
-from repro.simulation import CrashEvent
+from repro.scenario import get_scenario, run_scenario
 
-
-def main() -> None:
-    # ------------------------------------------------------------------ #
-    # 1. Workload: a very small basic tree (151 nodes, ~50 ms per node).
-    # ------------------------------------------------------------------ #
-    tree = paper_workload("tiny")
-    print(f"Workload: {tree.name} with {len(tree)} nodes, optimum {tree.optimal_value():.4f}\n")
-
-    config = AlgorithmConfig(selection_rule=SelectionRule.DEPTH_FIRST)
-
-    # ------------------------------------------------------------------ #
-    # 2. Failure-free run on three simulated workers (Figure 5).
-    # ------------------------------------------------------------------ #
-    baseline = run_tree_simulation(
-        tree, n_workers=3, config=config, seed=1, prune=False, enable_trace=True
-    )
-    print(format_kv(baseline.summary(), title="--- three workers, no failures ---"))
-    print()
-    print(baseline.trace.ascii_gantt(width=70))
-    print()
-
-    # ------------------------------------------------------------------ #
-    # 3. Crash two of the three workers at 85% of the execution (Figure 6).
-    # ------------------------------------------------------------------ #
-    crash_time = 0.85 * baseline.makespan
-    victims = worker_names(3)[1:]
-    failures = [CrashEvent(crash_time, victim) for victim in victims]
-    with_failures = run_tree_simulation(
-        tree,
-        n_workers=3,
-        config=config,
-        seed=1,
-        prune=False,
-        enable_trace=True,
-        failures=failures,
-    )
-    print(format_kv(with_failures.summary(), title="--- two of three workers crash at 85% ---"))
-    print()
-    print(with_failures.trace.ascii_gantt(width=70))
-    print()
-
-    survivor = with_failures.workers["worker-00"]
-    print(
-        f"Survivor worker-00: terminated={survivor.terminated}, "
-        f"recoveries={survivor.recovery_activations}, best={survivor.best_value:.4f}"
-    )
-    assert baseline.solved_correctly, "failure-free run must find the optimum"
-    assert with_failures.solved_correctly, "the survivor must still find the optimum"
-    print("\nBoth runs found the optimal solution — the mechanism recovered the lost work.")
-
-
-if __name__ == "__main__":
-    main()
+scenario = get_scenario("quickstart")
+clean = run_scenario(scenario.with_overrides(failures=()), backend="simulated")
+print(clean.report(title="--- three workers, no failures ---"), "\n")
+faulty = run_scenario(scenario, backend="simulated")
+print(faulty.report(title="--- two of three workers crash at 85% ---"))
+assert clean.solved_correctly and faulty.solved_correctly
+print("\nBoth runs found the optimum — the mechanism recovered the lost work.")

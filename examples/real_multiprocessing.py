@@ -1,78 +1,23 @@
 #!/usr/bin/env python3
-"""Running the algorithm on real OS processes (outside the simulator).
-
-The paper's evaluation is simulation-based, but the mechanism itself is just
-message-passing over an unreliable, asynchronous transport.  This example runs
-the very same core objects (tree codes, completion tracker, recovery policy,
-work reports) on real ``multiprocessing`` workers connected by compact binary
-wire frames over pipes (the ``repro.wire`` codec), and then injects a real
-fault by killing one of the worker processes.
-
-Run it with::
-
-    python examples/real_multiprocessing.py
-"""
-
-from repro.analysis import format_table
-from repro.bnb import RandomTreeSpec, generate_random_tree
-from repro.realexec import run_local_cluster
-
-
-def report(result, title):
-    rows = []
-    for name, outcome in sorted(result.outcomes.items()):
-        rows.append(
-            {
-                "worker": name,
-                "killed": name in result.killed,
-                "terminated": outcome.terminated,
-                "nodes_expanded": outcome.nodes_expanded,
-                "reports_sent": outcome.reports_sent,
-                "recoveries": outcome.recoveries,
-                "best_value": None if outcome.best_value is None else round(outcome.best_value, 3),
-            }
-        )
-    for name in result.killed:
-        if name not in result.outcomes:
-            rows.append(
-                {
-                    "worker": name,
-                    "killed": True,
-                    "terminated": False,
-                    "nodes_expanded": None,
-                    "reports_sent": None,
-                    "recoveries": None,
-                    "best_value": None,
-                }
-            )
-    print(format_table(rows, title=title))
-    print(
-        f"  wall time {result.wall_time:.2f}s, reference optimum {result.reference_optimum:.3f}, "
-        f"solved correctly: {result.solved_correctly}\n"
-    )
+"""The same scenario outside the simulator, on both real transports:
+the ``quickstart`` scenario on the ``realexec`` backend — real OS processes
+exchanging binary wire frames — over multiprocessing pipes, then Unix-domain
+sockets (``transport="uds"`` is the only change), and finally with a worker
+process actually killed mid-run.  Run it with:
+``PYTHONPATH=src python examples/real_multiprocessing.py``."""
+from repro.scenario import FailureSpec, get_scenario, run_scenario
 
 
 def main() -> None:
-    tree = generate_random_tree(
-        RandomTreeSpec(nodes=121, mean_node_time=0.0, seed=31, name="real-exec-demo")
-    )
-    print(f"Workload: {tree.name}, {len(tree)} nodes, optimum {tree.optimal_value():.3f}\n")
-
-    # Failure-free run on three real processes.
-    clean = run_local_cluster(tree, 3, prune=False, max_seconds=30.0, node_sleep=0.001)
-    report(clean, "--- three real worker processes, no failures ---")
-    assert clean.surviving_terminated and clean.solved_correctly
-
-    # Kill one process shortly after start; the survivors recover its work.
-    faulty = run_local_cluster(
-        tree, 3, prune=False, max_seconds=40.0, node_sleep=0.01, kill=["rworker-02"], kill_after=0.15
-    )
-    report(faulty, "--- same run, rworker-02 killed shortly after start ---")
-    if faulty.killed:
-        assert faulty.surviving_terminated and faulty.solved_correctly
-        print("The surviving processes detected the missing work, redid it and terminated.")
-    else:
-        print("The run finished before the kill could be injected (machine too fast) — try a larger tree.")
+    base = get_scenario("quickstart").with_overrides(failures=(), node_sleep=0.002)
+    for transport in ("pipe", "uds"):
+        result = run_scenario(base.with_overrides(transport=transport), backend="realexec")
+        print(result.report(title=f"--- three real processes over {transport} ---"), "\n")
+        assert result.terminated and result.solved_correctly
+    kill = FailureSpec(victims=(2,), after_seconds=0.15)
+    faulty = run_scenario(base.with_overrides(node_sleep=0.01, failures=(kill,)), "realexec")
+    print(faulty.report(title="--- same run, rworker-02 killed at 0.15 s ---"))
+    assert faulty.terminated and faulty.solved_correctly
 
 
 if __name__ == "__main__":

@@ -17,18 +17,20 @@ branch-and-bound algorithm and everything it stands on:
   balancing, runner, statistics);
 * :mod:`repro.baselines` — centralised manager/worker and DIB-style
   comparison baselines;
-* :mod:`repro.realexec` — a small real ``multiprocessing`` backend;
+* :mod:`repro.realexec` — a small real ``multiprocessing`` backend with
+  pluggable transports (pipes, Unix-domain sockets);
 * :mod:`repro.analysis` — experiment sweeps and table/figure builders for the
-  paper's evaluation.
+  paper's evaluation;
+* :mod:`repro.scenario` — the unified Scenario API: one declarative
+  experiment spec, four backends (``simulated``, ``central``, ``dib``,
+  ``realexec``), one normalised result, and the ``python -m repro`` CLI.
 
 Quickstart::
 
-    from repro.bnb import paper_workload
-    from repro.distributed import run_tree_simulation
+    from repro.scenario import get_scenario, run_scenario
 
-    tree = paper_workload("tiny")
-    result = run_tree_simulation(tree, n_workers=3, prune=False)
-    print(result.summary())
+    result = run_scenario(get_scenario("quickstart"), backend="simulated")
+    print(result.report())
 """
 
 __version__ = "0.1.0"

@@ -1,0 +1,10 @@
+"""``python -m repro`` — run declarative scenarios from the command line.
+
+See :mod:`repro.scenario.cli` for the subcommands (``run``, ``compare``,
+``list-scenarios``) and ``docs/SCENARIOS.md`` for the full usage guide.
+"""
+
+from .scenario.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,6 +5,14 @@ dictionaries) shaped like the paper's artefact, so the benchmark harness and
 EXPERIMENTS.md can print them directly with
 :func:`repro.analysis.tables.format_table`.
 
+Every builder executes through the unified Scenario API
+(:mod:`repro.scenario`): experiments are declarative
+:class:`~repro.scenario.spec.Scenario` objects, the fault-tolerance
+comparison is literally :func:`~repro.scenario.backends.compare_backends`,
+and builders that need simulator-specific detail (the Figure 3 time
+categories, the Figures 5/6 traces) read the backend-native
+:class:`~repro.distributed.stats.RunResult` from ``ScenarioResult.raw``.
+
 Workload scaling
 ----------------
 The paper's Table 1 problem is ≈79,600 expanded nodes at 3.47 s/node (≈75
@@ -26,13 +34,17 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..bnb.basic_tree import BasicTree
 from ..bnb.pool import SelectionRule
 from ..bnb.random_tree import RandomTreeSpec, generate_random_tree
-from ..bnb.tree_problem import TreeReplayProblem
 from ..distributed.config import AlgorithmConfig
-from ..distributed.runner import NetworkConfig, run_tree_simulation, worker_names
+from ..distributed.runner import worker_names
 from ..distributed.stats import RunResult
-from ..baselines.central import run_central_simulation
-from ..baselines.dib import run_dib_simulation
-from ..simulation.failures import CrashEvent, random_crash_schedule
+from ..scenario import (
+    CRITICAL,
+    FailureSpec,
+    Scenario,
+    WorkloadSpec,
+    compare_backends,
+    run_scenario,
+)
 from ..simulation.metrics import TIME_CATEGORIES
 
 __all__ = [
@@ -63,6 +75,25 @@ def default_config(**overrides) -> AlgorithmConfig:
     if overrides:
         config = config.with_overrides(**overrides)
     return config
+
+
+def _tree_scenario(
+    tree: BasicTree, n_workers: int, config: AlgorithmConfig, seed: int, **overrides
+) -> Scenario:
+    """A scenario replaying a prebuilt tree (shared by every builder)."""
+    return Scenario(
+        name=tree.name,
+        workload=WorkloadSpec(kind="tree", tree=tree),
+        n_workers=n_workers,
+        seed=seed,
+        config=config,
+        **overrides,
+    )
+
+
+def _raw_run(scenario: Scenario) -> RunResult:
+    """Run on the simulated backend and return the native ``RunResult``."""
+    return run_scenario(scenario, backend="simulated").raw
 
 
 # --------------------------------------------------------------------------- #
@@ -106,17 +137,18 @@ def table1_tree(*, scale: float = 0.15, seed: int = 11) -> BasicTree:
     )
 
 
-def tiny_tree(*, seed: int = 7) -> BasicTree:
-    """The very small problem of Figures 5/6."""
+def tiny_tree(*, seed: int = 7, scale: float = 1.0) -> BasicTree:
+    """The very small problem of Figures 5/6 (``scale`` shrinks/grows it)."""
+    nodes = max(31, int(round(151 * scale))) | 1  # binary trees: odd counts
     return generate_random_tree(
         RandomTreeSpec(
-            nodes=151,
+            nodes=nodes,
             mean_node_time=0.05,
             time_cv=0.4,
             balance=0.8,
             feasible_leaf_fraction=0.3,
             seed=seed,
-            name="tiny-151n",
+            name=f"tiny-{nodes}n",
         )
     )
 
@@ -143,13 +175,8 @@ def figure3_breakdown(
     uniprocessor = tree.total_node_time()
     rows: List[Dict[str, object]] = []
     for n in processor_counts:
-        result = run_tree_simulation(
-            tree,
-            n,
-            config=cfg,
-            seed=seed + n,
-            prune=False,
-            uniprocessor_time=uniprocessor,
+        result = _raw_run(
+            _tree_scenario(tree, n, cfg, seed + n, uniprocessor_time=uniprocessor)
         )
         row: Dict[str, object] = {
             "processors": n,
@@ -187,13 +214,8 @@ def table1_rows(
     uniprocessor = tree.total_node_time()
     rows: List[Dict[str, object]] = []
     for n in processor_counts:
-        result = run_tree_simulation(
-            tree,
-            n,
-            config=cfg,
-            seed=seed + n,
-            prune=False,
-            uniprocessor_time=uniprocessor,
+        result = _raw_run(
+            _tree_scenario(tree, n, cfg, seed + n, uniprocessor_time=uniprocessor)
         )
         rows.append(
             {
@@ -254,20 +276,16 @@ def figure56_scenario(
     """
     tree = tiny_tree(seed=seed)
     cfg = config if config is not None else default_config()
-    baseline = run_tree_simulation(
-        tree, n_workers, config=cfg, seed=seed, prune=False, enable_trace=True
-    )
+    base = _tree_scenario(tree, n_workers, cfg, seed, enable_trace=True)
+    baseline = _raw_run(base)
     crash_time = crash_fraction * baseline.makespan
     victims = worker_names(n_workers)[1:]
-    failures = [CrashEvent(crash_time, victim) for victim in victims]
-    with_failures = run_tree_simulation(
-        tree,
-        n_workers,
-        config=cfg,
-        seed=seed,
-        prune=False,
-        enable_trace=True,
-        failures=failures,
+    # The fraction is resolved against the baseline just measured, so the
+    # failure run does not trigger a redundant reference simulation.
+    with_failures = _raw_run(
+        base.with_overrides(
+            failures=(FailureSpec(victims=tuple(victims), at_time=crash_time),)
+        )
     )
     return {
         "tree": tree.name,
@@ -302,14 +320,15 @@ def granularity_sweep(
     cfg = config if config is not None else default_config()
     rows: List[Dict[str, object]] = []
     for factor in factors:
-        result = run_tree_simulation(
-            tree,
-            n_workers,
-            config=cfg,
-            seed=seed,
-            prune=False,
-            granularity=factor,
-            uniprocessor_time=tree.total_node_time() * factor,
+        result = _raw_run(
+            _tree_scenario(
+                tree,
+                n_workers,
+                cfg,
+                seed,
+                granularity=factor,
+                uniprocessor_time=tree.total_node_time() * factor,
+            )
         )
         rows.append(
             {
@@ -344,105 +363,44 @@ def fault_tolerance_comparison(
 
     Scenarios: no failures; half the processors crash; all but one crash; and
     the design-specific "critical node" crash (the DIB root machine / the
-    central manager).  The paper's claim is that only its mechanism survives
-    all of them.
+    central manager, resolved by the :data:`~repro.scenario.spec.CRITICAL`
+    victim placeholder).  The paper's claim is that only its mechanism
+    survives all of them.  Each row is one
+    :func:`~repro.scenario.backends.compare_backends` call over the
+    ``simulated``, ``dib`` and ``central`` backends; fractional crash times
+    resolve against each design's own failure-free makespan, so every design
+    faces the same relative failure pressure.
     """
     tree = tiny_tree(seed=seed) if scale <= 0.1 else figure3_tree(scale=0.1 * scale, seed=seed)
     cfg = config if config is not None else default_config()
-    problem = TreeReplayProblem(tree, prune=False)
-    optimum = tree.optimal_value()
-    names = worker_names(n_workers)
+    base = _tree_scenario(tree, n_workers, cfg, seed)
 
-    baseline = run_tree_simulation(tree, n_workers, config=cfg, seed=seed, prune=False)
-    reference_makespan = baseline.makespan
-
-    def crash_events(victims: Sequence[str], prefix: str) -> List[CrashEvent]:
-        return [
-            CrashEvent(0.5 * reference_makespan, victim.replace("worker", prefix))
-            for victim in victims
-        ]
-
-    scenarios: List[Tuple[str, List[str]]] = [
-        ("no failures", []),
-        ("half crash", names[1 : 1 + n_workers // 2]),
-        ("all but one crash", names[1:]),
+    cases: List[Tuple[str, Tuple[object, ...]]] = [
+        ("no failures", ()),
+        ("half crash", tuple(range(1, 1 + n_workers // 2))),
+        ("all but one crash", tuple(range(1, n_workers))),
+        ("critical node crash", (CRITICAL,)),
     ]
 
     rows: List[Dict[str, object]] = []
-    for label, victims in scenarios:
-        ours = run_tree_simulation(
-            tree,
-            n_workers,
-            config=cfg,
-            seed=seed,
-            prune=False,
-            failures=[CrashEvent(0.5 * reference_makespan, v) for v in victims],
+    for label, victims in cases:
+        scenario = base.with_overrides(
+            name=label,
+            failures=(FailureSpec(victims=victims, at_fraction=0.5),) if victims else (),
         )
-        dib = run_dib_simulation(
-            problem,
-            n_workers,
-            seed=seed,
-            failures=crash_events(victims, "dworker"),
-            max_sim_time=30 * max(1.0, reference_makespan),
-        )
-        central = run_central_simulation(
-            problem,
-            n_workers,
-            seed=seed,
-            failures=crash_events(victims, "cworker"),
-            max_sim_time=30 * max(1.0, reference_makespan),
-        )
+        results = compare_backends(scenario, ("simulated", "dib", "central"))
+        ours, dib, central = results["simulated"], results["dib"], results["central"]
         rows.append(
             {
                 "scenario": label,
                 "crashed": len(victims),
-                "ours_terminated": ours.all_terminated,
-                "ours_correct": ours.solved_correctly,
+                "ours_terminated": ours.terminated,
+                "ours_correct": bool(ours.solved_correctly),
                 "dib_terminated": dib.terminated,
-                "dib_correct": (
-                    dib.best_value is not None
-                    and optimum is not None
-                    and abs(dib.best_value - optimum) <= 1e-9 * max(1.0, abs(optimum))
-                ),
+                "dib_correct": bool(dib.terminated and dib.solved_correctly),
                 "central_terminated": central.terminated,
             }
         )
-
-    # Design-specific critical failures.
-    critical_victims = [names[0]]
-    ours_crit = run_tree_simulation(
-        tree,
-        n_workers,
-        config=cfg,
-        seed=seed,
-        prune=False,
-        failures=[CrashEvent(0.5 * reference_makespan, names[0])],
-    )
-    dib_crit = run_dib_simulation(
-        problem,
-        n_workers,
-        seed=seed,
-        failures=[CrashEvent(0.5 * reference_makespan, "dworker-00")],
-        max_sim_time=10 * max(1.0, reference_makespan),
-    )
-    central_crit = run_central_simulation(
-        problem,
-        n_workers,
-        seed=seed,
-        failures=[CrashEvent(0.5 * reference_makespan, "manager")],
-        max_sim_time=10 * max(1.0, reference_makespan),
-    )
-    rows.append(
-        {
-            "scenario": "critical node crash",
-            "crashed": 1,
-            "ours_terminated": ours_crit.all_terminated,
-            "ours_correct": ours_crit.solved_correctly,
-            "dib_terminated": dib_crit.terminated,
-            "dib_correct": False if not dib_crit.terminated else True,
-            "central_terminated": central_crit.terminated,
-        }
-    )
     return rows
 
 
@@ -467,13 +425,10 @@ def reporting_ablation(
     for threshold in thresholds:
         for fanout in fanouts:
             cfg = default_config(report_threshold=threshold, report_fanout=fanout)
-            result = run_tree_simulation(
-                tree,
-                n_workers,
-                config=cfg,
-                seed=seed,
-                prune=False,
-                uniprocessor_time=tree.total_node_time(),
+            result = _raw_run(
+                _tree_scenario(
+                    tree, n_workers, cfg, seed, uniprocessor_time=tree.total_node_time()
+                )
             )
             rows.append(
                 {
@@ -503,13 +458,10 @@ def compression_ablation(
     rows: List[Dict[str, object]] = []
     for compress in (True, False):
         cfg = default_config(compress_reports=compress)
-        result = run_tree_simulation(
-            tree,
-            n_workers,
-            config=cfg,
-            seed=seed,
-            prune=False,
-            uniprocessor_time=tree.total_node_time(),
+        result = _raw_run(
+            _tree_scenario(
+                tree, n_workers, cfg, seed, uniprocessor_time=tree.total_node_time()
+            )
         )
         rows.append(
             {

@@ -17,16 +17,28 @@ from .central import (
     CentralManagerEntity,
     CentralRunResult,
     CentralWorkerEntity,
+    central_message_kind,
+    central_worker_names,
     run_central_simulation,
 )
-from .dib import DibRunResult, DibWorkerEntity, run_dib_simulation
+from .dib import (
+    DibRunResult,
+    DibWorkerEntity,
+    dib_message_kind,
+    dib_worker_names,
+    run_dib_simulation,
+)
 
 __all__ = [
     "CentralManagerEntity",
     "CentralWorkerEntity",
     "CentralRunResult",
+    "central_worker_names",
+    "central_message_kind",
     "run_central_simulation",
     "DibWorkerEntity",
     "DibRunResult",
+    "dib_worker_names",
+    "dib_message_kind",
     "run_dib_simulation",
 ]

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..bnb.pool import SelectionRule, SubproblemPool
 from ..bnb.problem import BranchAndBoundProblem, Subproblem
@@ -34,8 +34,11 @@ from ..core.encoding import PathCode
 from ..simulation.engine import SimulationEngine
 from ..simulation.entity import Entity, QueuedMessage
 from ..simulation.failures import CrashEvent, FailureInjector
-from ..simulation.network import LatencyModel, Network
+from ..simulation.network import LatencyModel, Network, Partition
 from ..simulation.rng import RngRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..distributed.runner import NetworkConfig
 
 __all__ = [
     "CentralTaskRequest",
@@ -44,8 +47,28 @@ __all__ = [
     "CentralRunResult",
     "CentralManagerEntity",
     "CentralWorkerEntity",
+    "central_worker_names",
+    "central_message_kind",
     "run_central_simulation",
 ]
+
+
+def central_worker_names(n: int) -> List[str]:
+    """Canonical worker names of the centralised backend (``cworker-NN``)."""
+    return [f"cworker-{i:02d}" for i in range(n)]
+
+
+def central_message_kind(payload: object) -> str:
+    """Classify a centralised-protocol payload for per-kind traffic stats."""
+    if isinstance(payload, CentralTaskRequest):
+        return "task_request"
+    if isinstance(payload, CentralTaskAssignment):
+        return "task_assignment"
+    if isinstance(payload, CentralNoWork):
+        return "no_work"
+    if isinstance(payload, CentralResult):
+        return "task_result"
+    return "unknown"
 
 
 # --------------------------------------------------------------------------- #
@@ -127,6 +150,9 @@ class CentralManagerEntity(Entity):
         self.terminated = False
         self.terminated_at: Optional[float] = None
         self.nodes_completed = 0
+        #: Recovery actions taken: subproblems re-queued after their worker
+        #: went silent (the centralised design's fault-tolerance counter).
+        self.reassignments = 0
 
     def on_start(self) -> None:
         root = self.problem.root_subproblem()
@@ -153,6 +179,7 @@ class CentralManagerEntity(Entity):
         for code, (worker, assigned_at) in list(self.outstanding.items()):
             if now - assigned_at >= self.reassign_timeout:
                 del self.outstanding[code]
+                self.reassignments += 1
                 sub = self.problem.rebuild_subproblem(code)
                 if sub is not None:
                     self.pool.push(sub, bound=self.problem.bound(sub.state))
@@ -336,6 +363,16 @@ class CentralRunResult:
     crashed_workers: List[str] = field(default_factory=list)
     nodes_expanded: int = 0
     total_bytes_sent: int = 0
+    #: Subproblems the manager re-queued after their worker went silent.
+    reassignments: int = 0
+    #: Messages injected into the network.
+    messages_sent: int = 0
+    #: Bytes injected per protocol message kind (:func:`central_message_kind`).
+    bytes_by_kind: Dict[str, int] = field(default_factory=dict)
+    #: Nodes expanded per worker.
+    nodes_by_worker: Dict[str, int] = field(default_factory=dict)
+    #: Workers that learned of termination before the run ended.
+    terminated_workers: List[str] = field(default_factory=list)
 
     @property
     def solved(self) -> bool:
@@ -351,6 +388,7 @@ def run_central_simulation(
     seed: int = 0,
     latency: Optional[LatencyModel] = None,
     loss_probability: float = 0.0,
+    network: Optional["NetworkConfig"] = None,
     max_sim_time: float = 10_000.0,
     reassign_timeout: float = 2.0,
 ) -> CentralRunResult:
@@ -359,31 +397,44 @@ def run_central_simulation(
     ``failures`` may name workers or the manager (``"manager"``); crashing the
     manager demonstrates the single point of failure — the run then stops at
     ``max_sim_time`` without terminating.
+
+    ``network`` takes a full :class:`~repro.distributed.runner.NetworkConfig`
+    (latency, loss *and* partitions) and supersedes the older ``latency`` /
+    ``loss_probability`` keywords, which are kept as deprecated shims for one
+    release.  This function itself is superseded by the unified Scenario API
+    (``repro.scenario``, backend ``"central"``); prefer that for experiments.
     """
     if n_workers < 1:
         raise ValueError("n_workers must be at least 1")
+    partitions: Sequence[Partition] = ()
+    if network is not None:
+        latency = network.latency
+        loss_probability = network.loss_probability
+        partitions = network.partitions
     rng = RngRegistry(seed)
     engine = SimulationEngine()
-    network = Network(
+    net = Network(
         engine,
         latency=latency if latency is not None else LatencyModel.paper_default(),
         loss_probability=loss_probability,
+        partitions=partitions,
         rng=rng.stream("network"),
     )
+    net.classify = central_message_kind
 
-    names = [f"cworker-{i:02d}" for i in range(n_workers)]
+    names = central_worker_names(n_workers)
     manager = CentralManagerEntity(
         "manager", problem, names, reassign_timeout=reassign_timeout
     )
-    network.register(manager)
+    net.register(manager)
     workers = []
     for name in names:
         worker = CentralWorkerEntity(name, problem, "manager")
-        network.register(worker)
+        net.register(worker)
         workers.append(worker)
 
     injector = FailureInjector(failures)
-    injector.install(engine, network)
+    injector.install(engine, net)
 
     manager.on_start()
     for worker in workers:
@@ -411,5 +462,10 @@ def run_central_simulation(
         manager_crashed=not manager.alive,
         crashed_workers=crashed,
         nodes_expanded=sum(w.nodes_expanded for w in workers),
-        total_bytes_sent=network.stats.bytes_sent,
+        total_bytes_sent=net.stats.bytes_sent,
+        reassignments=manager.reassignments,
+        messages_sent=net.stats.messages_sent,
+        bytes_by_kind=dict(net.kind_bytes),
+        nodes_by_worker={w.name: w.nodes_expanded for w in workers},
+        terminated_workers=[w.name for w in workers if w.alive and w.terminated],
     )

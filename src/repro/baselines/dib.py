@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..bnb.pool import SelectionRule, SubproblemPool
 from ..bnb.problem import BranchAndBoundProblem, Subproblem
@@ -40,8 +40,11 @@ from ..core.encoding import ROOT, PathCode
 from ..simulation.engine import SimulationEngine
 from ..simulation.entity import Entity, QueuedMessage
 from ..simulation.failures import CrashEvent, FailureInjector
-from ..simulation.network import LatencyModel, Network
+from ..simulation.network import LatencyModel, Network, Partition
 from ..simulation.rng import RngRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..distributed.runner import NetworkConfig
 
 __all__ = [
     "DibWorkRequest",
@@ -50,8 +53,30 @@ __all__ = [
     "DibTerminationAnnounce",
     "DibWorkerEntity",
     "DibRunResult",
+    "dib_worker_names",
+    "dib_message_kind",
     "run_dib_simulation",
 ]
+
+
+def dib_worker_names(n: int) -> List[str]:
+    """Canonical worker names of the DIB backend (``dworker-NN``)."""
+    return [f"dworker-{i:02d}" for i in range(n)]
+
+
+def dib_message_kind(payload: object) -> str:
+    """Classify a DIB-protocol payload for per-kind traffic stats."""
+    if isinstance(payload, DibWorkRequest):
+        return "work_request"
+    if isinstance(payload, DibWorkGrant):
+        return "work_grant"
+    if isinstance(payload, DibWorkDenied):
+        return "work_denied"
+    if isinstance(payload, DibCompletionReport):
+        return "completion_report"
+    if isinstance(payload, DibTerminationAnnounce):
+        return "termination_announce"
+    return "unknown"
 
 
 # --------------------------------------------------------------------------- #
@@ -365,6 +390,16 @@ class DibRunResult:
     nodes_expanded: int = 0
     redone_problems: int = 0
     total_bytes_sent: int = 0
+    #: Messages injected into the network.
+    messages_sent: int = 0
+    #: Bytes injected per protocol message kind (:func:`dib_message_kind`).
+    bytes_by_kind: Dict[str, int] = field(default_factory=dict)
+    #: Nodes expanded per worker.
+    nodes_by_worker: Dict[str, int] = field(default_factory=dict)
+    #: Problems redone per worker (DIB's recovery counter).
+    redone_by_worker: Dict[str, int] = field(default_factory=dict)
+    #: Workers that learned of termination before the run ended.
+    terminated_workers: List[str] = field(default_factory=list)
 
 
 def run_dib_simulation(
@@ -375,6 +410,7 @@ def run_dib_simulation(
     seed: int = 0,
     latency: Optional[LatencyModel] = None,
     loss_probability: float = 0.0,
+    network: Optional["NetworkConfig"] = None,
     max_sim_time: float = 10_000.0,
     redo_timeout: float = 5.0,
 ) -> DibRunResult:
@@ -384,19 +420,32 @@ def run_dib_simulation(
     of the responsibility hierarchy; crashing it demonstrates DIB's reliance
     on a reliable root (the run then stops at ``max_sim_time`` without
     detecting termination).
+
+    ``network`` takes a full :class:`~repro.distributed.runner.NetworkConfig`
+    (latency, loss *and* partitions) and supersedes the older ``latency`` /
+    ``loss_probability`` keywords, which are kept as deprecated shims for one
+    release.  This function itself is superseded by the unified Scenario API
+    (``repro.scenario``, backend ``"dib"``); prefer that for experiments.
     """
     if n_workers < 1:
         raise ValueError("n_workers must be at least 1")
+    partitions: Sequence[Partition] = ()
+    if network is not None:
+        latency = network.latency
+        loss_probability = network.loss_probability
+        partitions = network.partitions
     rng = RngRegistry(seed)
     engine = SimulationEngine()
-    network = Network(
+    net = Network(
         engine,
         latency=latency if latency is not None else LatencyModel.paper_default(),
         loss_probability=loss_probability,
+        partitions=partitions,
         rng=rng.stream("network"),
     )
+    net.classify = dib_message_kind
 
-    names = [f"dworker-{i:02d}" for i in range(n_workers)]
+    names = dib_worker_names(n_workers)
     workers: List[DibWorkerEntity] = []
     for name in names:
         worker = DibWorkerEntity(
@@ -406,14 +455,14 @@ def run_dib_simulation(
             rng=rng.stream(f"dib:{name}"),
             redo_timeout=redo_timeout,
         )
-        network.register(worker)
+        net.register(worker)
         workers.append(worker)
 
     root_sub = problem.root_subproblem()
     workers[0].pool.push(root_sub, bound=problem.bound(root_sub.state))
 
     injector = FailureInjector(failures)
-    injector.install(engine, network)
+    injector.install(engine, net)
 
     for worker in workers:
         worker.on_start()
@@ -442,5 +491,10 @@ def run_dib_simulation(
         crashed_workers=crashed,
         nodes_expanded=sum(w.nodes_expanded for w in workers),
         redone_problems=sum(w.redone_problems for w in workers),
-        total_bytes_sent=network.stats.bytes_sent,
+        total_bytes_sent=net.stats.bytes_sent,
+        messages_sent=net.stats.messages_sent,
+        bytes_by_kind=dict(net.kind_bytes),
+        nodes_by_worker={w.name: w.nodes_expanded for w in workers},
+        redone_by_worker={w.name: w.redone_problems for w in workers},
+        terminated_workers=[w.name for w in workers if w.alive and w.terminated],
     )

@@ -205,6 +205,9 @@ class CompletionTracker:
         self._pending_wire = 0
         #: Per-peer delta-gossip state (what each peer is known to cover).
         self._peer_views: Dict[str, PeerGossipView] = {}
+        #: Peer views dropped after the membership layer declared the peer
+        #: dead (:meth:`prune_peer_view`) — the footprint-bounding counter.
+        self.gossip_views_pruned = 0
         #: Memoised ``(codes frozenset, digest)`` of the current table, so
         #: one table state is digested at most once no matter how many peers
         #: are gossiped to before the next change.
@@ -376,6 +379,24 @@ class CompletionTracker:
         if peer == self.owner:
             return
         self.peer_view(peer).note_covers(codes)
+
+    def prune_peer_view(self, peer: str) -> bool:
+        """Drop the delta-gossip state of a peer declared dead; True if held.
+
+        The per-peer ``known`` tries grow with the peer count, so a tracker
+        that kept views for every peer ever seen would leak on long-lived,
+        churning groups.  When the membership layer evicts a peer (failure
+        detector cleanup, view removal), its view — trie, pending sends and
+        all — can be dropped wholesale: nothing is ever gossiped to a dead
+        peer, and if the eviction was a false positive the view is simply
+        rebuilt from scratch, costing one full-table first delta (exactly
+        the fresh-peer bootstrap, so correctness is untouched).  Prunes are
+        counted in :attr:`gossip_views_pruned`.
+        """
+        if self._peer_views.pop(peer, None) is None:
+            return False
+        self.gossip_views_pruned += 1
+        return True
 
     def note_peer_converged(self, peer: str) -> None:
         """Record that ``peer``'s table currently equals this one.

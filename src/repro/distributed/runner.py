@@ -294,6 +294,10 @@ def run_tree_simulation(
     may be passed explicitly (parameter sweeps compute it once and reuse it);
     otherwise it is measured with a sequential pruned run unless
     ``compute_uniprocessor_time`` is disabled.
+
+    As an *experiment-facing* entry point this is superseded by the unified
+    Scenario API (``repro.scenario``, backend ``"simulated"``), which wraps
+    it; it remains the supported programmatic runner underneath.
     """
     problem = TreeReplayProblem(tree, granularity=granularity, prune=prune)
     if uniprocessor_time is None and compute_uniprocessor_time:

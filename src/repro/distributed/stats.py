@@ -37,6 +37,8 @@ class WorkerRunStats:
     delta_gossips_sent: int = 0
     delta_gossips_suppressed: int = 0
     gossip_acks_sent: int = 0
+    #: Per-peer gossip views dropped after membership declared the peer dead.
+    gossip_views_pruned: int = 0
     work_requests_sent: int = 0
     work_grants_sent: int = 0
     work_denials_sent: int = 0
@@ -70,6 +72,7 @@ class WorkerRunStats:
             "delta_gossips_sent": self.delta_gossips_sent,
             "delta_gossips_suppressed": self.delta_gossips_suppressed,
             "gossip_acks_sent": self.gossip_acks_sent,
+            "gossip_views_pruned": self.gossip_views_pruned,
             "work_requests_sent": self.work_requests_sent,
             "work_grants_sent": self.work_grants_sent,
             "work_denials_sent": self.work_denials_sent,

@@ -203,6 +203,30 @@ class WorkerEntity(Entity):
         self.metrics.update_storage(self.name, footprint, redundant)
 
     # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+    def evict_peer(self, peer: str) -> bool:
+        """Forget a peer the membership layer has declared dead.
+
+        Called by whoever drives membership for this worker (a failure
+        detector's cleanup pass, a membership view removal): the peer leaves
+        the report/gossip/load-balancing target lists and its delta-gossip
+        :class:`~repro.core.completion.PeerGossipView` — the per-peer
+        ``known`` trie that otherwise grows with the group size — is dropped
+        (counted in ``stats.gossip_views_pruned``).  A false suspicion only
+        costs one full-table first delta when the peer reappears.
+
+        Returns ``True`` when anything was actually forgotten.
+        """
+        removed = False
+        if peer in self.peers:
+            self.peers.remove(peer)
+            removed = True
+        pruned = self.tracker.prune_peer_view(peer)
+        self.stats.gossip_views_pruned = self.tracker.gossip_views_pruned
+        return removed or pruned
+
+    # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
     def on_start(self) -> None:
@@ -788,6 +812,7 @@ class WorkerEntity(Entity):
         self.stats.nodes_pruned = self.expander.nodes_pruned
         self.stats.best_value = self.incumbent.value
         self.stats.recovery_activations = self.recovery.stats.activations
+        self.stats.gossip_views_pruned = self.tracker.gossip_views_pruned
         account = self.metrics.time.get(self.name)
         if account is not None:
             self.stats.time = account.as_dict()

@@ -8,19 +8,29 @@ mechanism is not an
 artefact of the simulator and lets the test-suite kill real processes, while
 the quantitative evaluation stays on the simulator as in the paper.
 
-* :mod:`repro.realexec.transport` — the pipe router;
+* :mod:`repro.realexec.transport` — the pluggable transport seam: the
+  shared envelope router plus the pipe and Unix-domain-socket transports;
 * :mod:`repro.realexec.node` — the per-process worker loop;
 * :mod:`repro.realexec.driver` — the local cluster driver with fault
-  injection.
+  injection and transport selection (``LocalCluster(transport="uds")``).
 """
 
 from .driver import LocalCluster, LocalClusterResult, run_local_cluster
 from .node import RealWorkerConfig, WorkerOutcome, worker_main
-from .transport import Envelope, PipeRouter
+from .transport import (
+    Envelope,
+    EnvelopeRouter,
+    PipeRouter,
+    UdsRouter,
+    create_router,
+)
 
 __all__ = [
     "Envelope",
+    "EnvelopeRouter",
     "PipeRouter",
+    "UdsRouter",
+    "create_router",
     "RealWorkerConfig",
     "WorkerOutcome",
     "worker_main",

@@ -14,12 +14,12 @@ from __future__ import annotations
 import multiprocessing as mp
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..bnb.basic_tree import BasicTree
 from ..wire import WireFormatError
 from .node import RealWorkerConfig, WorkerOutcome, worker_main
-from .transport import PipeRouter, recv_envelope
+from .transport import create_router, recv_envelope, resolve_connection, validate_transport
 
 __all__ = ["LocalClusterResult", "LocalCluster", "run_local_cluster"]
 
@@ -33,6 +33,14 @@ class LocalClusterResult:
     killed: List[str] = field(default_factory=list)
     wall_time: float = 0.0
     reference_optimum: Optional[float] = None
+    #: Transport the cluster ran on (``pipe`` or ``uds``).
+    transport: str = "pipe"
+    #: Router traffic counters (real encoded bytes, not the analytic model).
+    messages_forwarded: int = 0
+    messages_dropped: int = 0
+    bytes_forwarded: int = 0
+    #: Forwarded bytes per payload kind (frame-tag classification).
+    bytes_by_kind: Dict[str, int] = field(default_factory=dict)
 
     @property
     def surviving_terminated(self) -> bool:
@@ -78,14 +86,20 @@ class LocalCluster:
         max_seconds: float = 30.0,
         prune: bool = True,
         report_threshold: int = 5,
+        report_fanout: int = 2,
+        recovery_failed_threshold: int = 3,
         wire_generations: Optional[Sequence[int]] = None,
+        transport: str = "pipe",
     ) -> None:
         """``wire_generations`` optionally assigns a wire-format generation
         per worker index (defaults to the current generation for all) — a
         mixed list models a rolling upgrade where generation-1 and
-        generation-2 binaries coexist in one cluster."""
+        generation-2 binaries coexist in one cluster.  ``transport`` selects
+        how the workers are wired: ``"pipe"`` (multiprocessing pipes) or
+        ``"uds"`` (Unix-domain sockets); the protocol bytes are identical."""
         if n_workers < 1:
             raise ValueError("n_workers must be at least 1")
+        transport = validate_transport(transport)
         self.tree = tree
         self.n_workers = n_workers
         self.seed = seed
@@ -93,6 +107,9 @@ class LocalCluster:
         self.max_seconds = max_seconds
         self.prune = prune
         self.report_threshold = report_threshold
+        self.report_fanout = report_fanout
+        self.recovery_failed_threshold = recovery_failed_threshold
+        self.transport = transport
         if wire_generations is not None:
             if len(wire_generations) != n_workers:
                 raise ValueError("wire_generations must name one generation per worker")
@@ -107,16 +124,29 @@ class LocalCluster:
         self.wire_generations = list(wire_generations) if wire_generations is not None else None
         self.names = [f"rworker-{i:02d}" for i in range(n_workers)]
 
-    def run(self, *, kill: Sequence[str] = (), kill_after: float = 0.5) -> LocalClusterResult:
-        """Run the cluster, optionally killing the named workers mid-run."""
+    def run(
+        self,
+        *,
+        kill: Sequence[str] = (),
+        kill_after: float = 0.5,
+        kill_schedule: Sequence[Tuple[float, Sequence[str]]] = (),
+    ) -> LocalClusterResult:
+        """Run the cluster, optionally killing workers mid-run.
+
+        ``kill``/``kill_after`` terminate one group of workers after one
+        delay; ``kill_schedule`` generalises that to several
+        ``(delay_seconds, worker_names)`` groups, each fired at its own
+        wall-clock offset (the scenario backend maps one ``FailureSpec``
+        per group).  Both forms may be combined.
+        """
         ctx = mp.get_context()
-        router = PipeRouter()
-        driver_end = router.add_worker("__driver__")
+        router = create_router(self.transport)
+        driver_handle = router.add_worker("__driver__")
 
         tree_data = self.tree.to_dict()
         processes: Dict[str, mp.Process] = {}
         for index, name in enumerate(self.names):
-            child_end = router.add_worker(name)
+            endpoint = router.add_worker(name)
             config = RealWorkerConfig(
                 name=name,
                 members=tuple(self.names),
@@ -127,14 +157,19 @@ class LocalCluster:
                 max_seconds=self.max_seconds,
                 prune=self.prune,
                 report_threshold=self.report_threshold,
+                report_fanout=self.report_fanout,
+                recovery_failed_threshold=self.recovery_failed_threshold,
                 wire_generation=(
                     self.wire_generations[index] if self.wire_generations is not None else RealWorkerConfig.wire_generation
                 ),
             )
-            process = ctx.Process(target=worker_main, args=(config, child_end), daemon=True)
+            process = ctx.Process(target=worker_main, args=(config, endpoint), daemon=True)
             processes[name] = process
 
+        # The router must be listening before the driver (and, for socket
+        # transports, the workers) can connect.
         router.start()
+        driver_end = resolve_connection(driver_handle)
         start = time.monotonic()
         for process in processes.values():
             process.start()
@@ -142,22 +177,28 @@ class LocalCluster:
         result = LocalClusterResult(
             n_workers=self.n_workers,
             reference_optimum=self.tree.optimal_value(),
+            transport=router.transport,
         )
         result._minimize = self.tree.minimize
 
         killed: List[str] = []
         deadline = start + self.max_seconds + 5.0
-        kill_at = start + kill_after
+        pending_kills: List[Tuple[float, Tuple[str, ...]]] = sorted(
+            [(start + delay, tuple(names)) for delay, names in kill_schedule]
+            + ([(start + kill_after, tuple(kill))] if kill else []),
+            key=lambda entry: entry[0],
+        )
 
         try:
             while time.monotonic() < deadline:
-                if kill and time.monotonic() >= kill_at:
-                    for name in kill:
+                while pending_kills and time.monotonic() >= pending_kills[0][0]:
+                    _, due = pending_kills.pop(0)
+                    for name in due:
                         process = processes.get(name)
                         if process is not None and process.is_alive():
                             process.terminate()
-                            killed.append(name)
-                    kill = ()
+                            if name not in killed:
+                                killed.append(name)
                 while driver_end.poll(0.05):
                     try:
                         envelope = recv_envelope(driver_end)
@@ -173,15 +214,24 @@ class LocalCluster:
                 if all(not p.is_alive() for p in processes.values()):
                     break
         finally:
+            # Completion time excludes transport/process teardown below.
+            result.wall_time = time.monotonic() - start
             for process in processes.values():
                 if process.is_alive():
                     process.terminate()
             for process in processes.values():
                 process.join(timeout=2.0)
+            try:
+                driver_end.close()
+            except OSError:  # pragma: no cover - platform dependent
+                pass
             router.stop()
 
         result.killed = killed
-        result.wall_time = time.monotonic() - start
+        result.messages_forwarded = router.forwarded
+        result.messages_dropped = router.dropped
+        result.bytes_forwarded = router.bytes_forwarded
+        result.bytes_by_kind = dict(router.kind_bytes)
         return result
 
 
@@ -195,8 +245,13 @@ def run_local_cluster(
     node_sleep: float = 0.0,
     max_seconds: float = 30.0,
     prune: bool = True,
+    transport: str = "pipe",
 ) -> LocalClusterResult:
-    """One-call helper: build a :class:`LocalCluster` and run it."""
+    """One-call helper: build a :class:`LocalCluster` and run it.
+
+    Superseded by the unified Scenario API (``repro.scenario``, backend
+    ``"realexec"``); kept as a thin shim for one release.
+    """
     cluster = LocalCluster(
         tree,
         n_workers,
@@ -204,5 +259,6 @@ def run_local_cluster(
         node_sleep=node_sleep,
         max_seconds=max_seconds,
         prune=prune,
+        transport=transport,
     )
     return cluster.run(kill=kill, kill_after=kill_after)

@@ -65,7 +65,13 @@ from ..wire.varint import (
     write_string,
     write_uvarint,
 )
-from .transport import Envelope, recv_envelope, send_envelope
+from .transport import (
+    Envelope,
+    recv_envelope,
+    register_payload_kind,
+    resolve_connection,
+    send_envelope,
+)
 
 __all__ = ["RealWorkerConfig", "WorkerOutcome", "worker_main"]
 
@@ -146,17 +152,23 @@ def _read_worker_outcome(data, pos: int) -> Tuple[WorkerOutcome, int]:
 
 
 register(WORKER_OUTCOME_TAG, WorkerOutcome, _write_worker_outcome, _read_worker_outcome)
+register_payload_kind(WORKER_OUTCOME_TAG, "worker_outcome")
 
 
 def worker_main(config: RealWorkerConfig, connection) -> None:
     """Entry point executed in the child process.
 
-    The loop: drain the pipe, merge reports, answer work requests, expand one
-    node, occasionally emit work reports, recover starved work from the
-    complement, and stop when the completed table contracts to the root code
-    (sending the final root report first).  The final
-    :class:`WorkerOutcome` is sent to the driver over the same pipe.
+    ``connection`` is either a ready pipe Connection or a transport endpoint
+    (:class:`~repro.realexec.transport.WorkerEndpoint`) the child connects
+    first — the loop below is transport-agnostic.
+
+    The loop: drain the transport, merge reports, answer work requests,
+    expand one node, occasionally emit work reports, recover starved work
+    from the complement, and stop when the completed table contracts to the
+    root code (sending the final root report first).  The final
+    :class:`WorkerOutcome` is sent to the driver over the same channel.
     """
+    connection = resolve_connection(connection)
     tree = BasicTree.from_dict(config.tree_data)
     problem = TreeReplayProblem(tree, prune=config.prune)
     expander = NodeExpander(problem)

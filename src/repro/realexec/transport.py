@@ -17,17 +17,32 @@ receiving worker.  Byte-for-byte forwarding also gives the router exact
 per-link traffic counters, the real-execution counterpart of the simulator's
 :class:`~repro.simulation.network.TrafficStats`.
 
-The transport remains deliberately simple: a star of duplex pipes terminated
-at a small router thread in the parent process.  Messages are addressed by
-worker name; the router forwards them and never retries — an unreliable,
+The transport remains deliberately simple: a star topology terminated at a
+small router thread in the parent process.  Messages are addressed by worker
+name; the router forwards them and never retries — an unreliable,
 asynchronous channel, like the paper assumes.  Frames that do not parse as
 envelopes (truncated, corrupt, or foreign bytes) are counted and dropped.
+
+The star's *links* are pluggable (the ``Transport`` seam): the shared
+:class:`EnvelopeRouter` owns the forwarding loop and the traffic counters,
+and a concrete transport only decides how worker connections are
+established — :class:`PipeRouter` over ``multiprocessing`` duplex pipes,
+:class:`UdsRouter` over Unix-domain sockets (workers connect to one listener
+socket and identify themselves by name).  Both hand each worker process a
+Connection-compatible endpoint, so the payload code in
+:mod:`repro.realexec.node` is transport-agnostic; the driver selects the
+transport by name (``LocalCluster(transport="uds")``, or
+``Scenario(transport="uds")`` through the scenario API).
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import multiprocessing.connection as mpc
+import os
+import tempfile
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
@@ -37,10 +52,19 @@ from ..wire.varint import read_string, read_uvarint, write_string, write_uvarint
 
 __all__ = [
     "Envelope",
+    "EnvelopeRouter",
     "PipeRouter",
+    "UdsRouter",
+    "WorkerEndpoint",
+    "UdsEndpoint",
+    "create_router",
+    "resolve_connection",
+    "register_payload_kind",
+    "payload_kind",
     "encode_envelope",
     "decode_envelope",
     "envelope_route",
+    "envelope_route_info",
     "send_envelope",
     "recv_envelope",
 ]
@@ -128,12 +152,17 @@ def decode_envelope(data: bytes, *, max_version: int = FRAME_VERSION) -> Envelop
     return envelope
 
 
-def envelope_route(data) -> Tuple[str, str]:
-    """Parse only ``(sender, destination)`` from an envelope frame.
+def envelope_route_info(data) -> Tuple[str, str, Optional[int]]:
+    """Parse ``(sender, destination, payload_tag)`` from an envelope frame.
 
     This is the router's fast path: it validates the frame header and reads
-    the two routing strings without touching the payload bytes.  Any
-    malformation — in the header or in the routing strings themselves —
+    the two routing strings without touching the payload *body*.  The nested
+    payload frame's tag sits right behind the routing header, so the router
+    can additionally account traffic per message kind (see
+    :func:`payload_kind`) for the cost of three varint reads; a payload whose
+    own header does not parse yields tag ``None`` (the frame is still
+    forwarded — payload corruption is the receiver's business).  Any
+    malformation in the envelope header or the routing strings themselves
     surfaces as :class:`~repro.wire.WireFormatError`, so the router can treat
     "unroutable" as a single error class.
     """
@@ -142,12 +171,56 @@ def envelope_route(data) -> Tuple[str, str]:
         raise WireFormatError(f"expected envelope tag {ENVELOPE_TAG}, got {tag}")
     try:
         sender, pos = read_string(data, pos)
-        destination, _pos = read_string(data, pos)
+        destination, pos = read_string(data, pos)
     except WireFormatError:
         raise
     except ValueError as exc:
         raise WireFormatError(f"corrupt envelope routing header: {exc}") from exc
+    payload_tag: Optional[int] = None
+    try:
+        length, pos = read_uvarint(data, pos)
+        if length >= 3 and pos + length <= len(data):
+            # A zero-copy view suffices: read_header only touches the first
+            # few bytes (magic, version, two varints) of the nested frame.
+            _pver, ptag, _ppos, _plen = read_header(memoryview(data)[pos : pos + length])
+            payload_tag = ptag
+    except (ValueError, WireFormatError):
+        payload_tag = None
+    return sender, destination, payload_tag
+
+
+def envelope_route(data) -> Tuple[str, str]:
+    """Parse only ``(sender, destination)`` from an envelope frame."""
+    sender, destination, _tag = envelope_route_info(data)
     return sender, destination
+
+
+#: Payload-tag → kind label, for the router's per-kind traffic accounting.
+#: Mirrors :class:`~repro.distributed.messages.MessageKinds` where the kinds
+#: overlap, so simulated and real runs report comparable ``bytes_by_kind``.
+_PAYLOAD_KINDS: Dict[int, str] = {
+    int(Tag.WORK_REQUEST): "work_request",
+    int(Tag.WORK_GRANT): "work_grant",
+    int(Tag.WORK_DENIED): "work_denied",
+    int(Tag.WORK_REPORT_MSG): "work_report",
+    int(Tag.TABLE_GOSSIP_MSG): "table_gossip",
+    int(Tag.DELTA_GOSSIP_MSG): "delta_gossip",
+    int(Tag.TABLE_GOSSIP_ACK): "gossip_ack",
+    int(Tag.VIEW_GOSSIP): "view_gossip",
+    int(Tag.JOIN_ANNOUNCEMENT): "join_announcement",
+}
+
+
+def register_payload_kind(tag: int, name: str) -> None:
+    """Name the traffic kind of an extension tag (used by ``node``)."""
+    _PAYLOAD_KINDS[int(tag)] = name
+
+
+def payload_kind(tag: Optional[int]) -> str:
+    """Kind label of a payload tag (``unknown`` when it could not be read)."""
+    if tag is None:
+        return "unknown"
+    return _PAYLOAD_KINDS.get(tag, f"tag_{tag}")
 
 
 def send_envelope(connection, envelope: Envelope) -> None:
@@ -165,19 +238,70 @@ def recv_envelope(connection, *, max_version: int = FRAME_VERSION) -> Envelope:
     return decode_envelope(connection.recv_bytes(), max_version=max_version)
 
 
-class PipeRouter:
-    """Routes envelope frames between worker processes through the parent.
+class WorkerEndpoint:
+    """A picklable handle a worker process turns into its connection.
 
-    The router owns one duplex pipe per worker.  A background thread in the
-    parent process polls the worker ends, parses each frame's routing header
-    and forwards the raw bytes to their destination.  Messages to unknown or
-    finished workers, and frames that fail to parse, are dropped silently,
-    matching the lossy network model of the paper.
+    Concrete transports return either a ready Connection (pipes — the child
+    inherits the pipe end) or an endpoint like :class:`UdsEndpoint` that the
+    child must :meth:`connect` first; :func:`resolve_connection` accepts
+    both, so driver and worker code stay transport-agnostic.
     """
 
+    def connect(self):  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class UdsEndpoint(WorkerEndpoint):
+    """Connects to a :class:`UdsRouter` socket and identifies by name."""
+
+    def __init__(self, address: str, name: str) -> None:
+        self.address = address
+        self.name = name
+
+    def connect(self):
+        """Connect to the router socket; retries while the listener comes up."""
+        deadline = time.monotonic() + 5.0
+        while True:
+            try:
+                conn = mpc.Client(self.address, family="AF_UNIX")
+                break
+            except (FileNotFoundError, ConnectionRefusedError, OSError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.02)
+        # The accept loop reads this identity frame to bind the connection
+        # to a worker name; everything after it is ordinary envelope frames.
+        conn.send_bytes(self.name.encode("utf-8"))
+        return conn
+
+
+def resolve_connection(handle):
+    """Turn an ``add_worker`` return value into a usable connection."""
+    if hasattr(handle, "recv_bytes"):
+        return handle
+    return handle.connect()
+
+
+class EnvelopeRouter:
+    """Routes envelope frames between worker processes through the parent.
+
+    The shared half of every transport: a background thread in the parent
+    process polls the router-side connections, parses each frame's routing
+    header and forwards the raw bytes to their destination, accounting
+    traffic per link and per payload kind.  Messages to unknown or finished
+    workers, and frames that fail to parse, are dropped silently, matching
+    the lossy network model of the paper.
+
+    Subclasses only implement :meth:`add_worker` (how a worker obtains its
+    endpoint) and connection establishment/teardown.
+    """
+
+    #: Transport name, for reporting (``LocalClusterResult.transport``).
+    transport = "abstract"
+
     def __init__(self) -> None:
-        self._parent_ends: Dict[str, mp.connection.Connection] = {}
-        self._child_ends: Dict[str, mp.connection.Connection] = {}
+        #: Router-side connections, keyed by worker name.
+        self._parent_ends: Dict[str, mpc.Connection] = {}
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
         #: Count of forwarded messages, for tests and reporting.
@@ -190,30 +314,30 @@ class PipeRouter:
         self.link_bytes: Dict[Tuple[str, str], int] = {}
         #: Per-link traffic: ``(sender, destination) -> messages forwarded``.
         self.link_messages: Dict[Tuple[str, str], int] = {}
+        #: Forwarded bytes per payload kind (see :func:`payload_kind`).
+        self.kind_bytes: Dict[str, int] = {}
+        #: Forwarded messages per payload kind.
+        self.kind_messages: Dict[str, int] = {}
 
-    def add_worker(self, name: str) -> mp.connection.Connection:
-        """Create the pipe pair for a worker; returns the child end."""
-        if name in self._parent_ends:
-            raise ValueError(f"duplicate worker name: {name!r}")
-        parent_end, child_end = mp.Pipe(duplex=True)
-        self._parent_ends[name] = parent_end
-        self._child_ends[name] = child_end
-        return child_end
-
-    def child_end(self, name: str) -> mp.connection.Connection:
-        """The connection a worker process should use."""
-        return self._child_ends[name]
+    # ------------------------------------------------------------------ #
+    # Transport interface
+    # ------------------------------------------------------------------ #
+    def add_worker(self, name: str):  # pragma: no cover - interface
+        """Register a worker; returns its endpoint (or ready connection)."""
+        raise NotImplementedError
 
     def start(self) -> None:
         """Start the forwarding thread."""
         if self._thread is not None:
             return
         self._stop.clear()
-        self._thread = threading.Thread(target=self._run, name="pipe-router", daemon=True)
+        self._thread = threading.Thread(
+            target=self._run, name=f"{self.transport}-router", daemon=True
+        )
         self._thread.start()
 
     def stop(self) -> None:
-        """Stop the forwarding thread and close the parent pipe ends."""
+        """Stop the forwarding thread and close the router-side connections."""
         self._stop.set()
         if self._thread is not None:
             self._thread.join(timeout=2.0)
@@ -224,9 +348,27 @@ class PipeRouter:
             except OSError:  # pragma: no cover - platform dependent
                 pass
 
-    def _run(self) -> None:
-        import multiprocessing.connection as mpc
+    # ------------------------------------------------------------------ #
+    # Forwarding loop
+    # ------------------------------------------------------------------ #
+    def _drop_connection(self, conn) -> None:
+        """Forget a dead connection so ``mpc.wait`` stops reporting it ready.
 
+        Without this, a closed connection is permanently "ready" and the
+        forwarding loop busy-spins on its EOF at 100% CPU for the rest of
+        the run.  Later messages to the departed worker simply count as
+        dropped, like any message to a dead entity.
+        """
+        for name, end in list(self._parent_ends.items()):
+            if end is conn:
+                del self._parent_ends[name]
+                break
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - platform dependent
+            pass
+
+    def _run(self) -> None:
         while not self._stop.is_set():
             ends = list(self._parent_ends.values())
             if not ends:
@@ -237,13 +379,14 @@ class PipeRouter:
                 try:
                     frame = conn.recv_bytes()
                 except (EOFError, OSError):
+                    self._drop_connection(conn)
                     continue
                 try:
-                    link = envelope_route(frame)
+                    sender, dest, tag = envelope_route_info(frame)
                 except WireFormatError:
                     self.dropped += 1
                     continue
-                destination = self._parent_ends.get(link[1])
+                destination = self._parent_ends.get(dest)
                 if destination is None:
                     self.dropped += 1
                     continue
@@ -255,5 +398,168 @@ class PipeRouter:
                 self.forwarded += 1
                 size = len(frame)
                 self.bytes_forwarded += size
+                link = (sender, dest)
                 self.link_bytes[link] = self.link_bytes.get(link, 0) + size
                 self.link_messages[link] = self.link_messages.get(link, 0) + 1
+                kind = payload_kind(tag)
+                self.kind_bytes[kind] = self.kind_bytes.get(kind, 0) + size
+                self.kind_messages[kind] = self.kind_messages.get(kind, 0) + 1
+
+
+class PipeRouter(EnvelopeRouter):
+    """The pipe transport: a star of ``multiprocessing`` duplex pipes.
+
+    ``add_worker`` returns the child end of the worker's pipe directly —
+    child processes inherit it through the ``Process`` arguments, so no
+    connection step is needed.
+    """
+
+    transport = "pipe"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._child_ends: Dict[str, mpc.Connection] = {}
+
+    def add_worker(self, name: str) -> mpc.Connection:
+        """Create the pipe pair for a worker; returns the child end."""
+        if name in self._parent_ends:
+            raise ValueError(f"duplicate worker name: {name!r}")
+        parent_end, child_end = mp.Pipe(duplex=True)
+        self._parent_ends[name] = parent_end
+        self._child_ends[name] = child_end
+        return child_end
+
+    def child_end(self, name: str) -> mpc.Connection:
+        """The connection a worker process should use."""
+        return self._child_ends[name]
+
+
+class UdsRouter(EnvelopeRouter):
+    """The Unix-domain-socket transport (the ROADMAP's cross-transport item).
+
+    One listener socket in the parent; every worker (and the driver) connects
+    to it and sends its name as the first frame.  An accept thread binds each
+    incoming connection to its worker name, after which the shared forwarding
+    loop treats it exactly like a pipe — byte-identical envelope frames, no
+    payload-code changes anywhere.  Unknown or duplicate identities are
+    closed immediately.
+    """
+
+    transport = "uds"
+
+    #: Seconds a connected client has to send its identity frame before the
+    #: accept loop gives up on it — bounds how long one stillborn client
+    #: (killed between connect and identify) can stall later registrations.
+    IDENTITY_TIMEOUT = 2.0
+
+    def __init__(self, address: Optional[str] = None) -> None:
+        super().__init__()
+        self._address = address
+        self._socket_dir: Optional[str] = None
+        self._expected: set = set()
+        self._listener: Optional[mpc.Listener] = None
+        self._accept_thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> str:
+        """The socket path; the backing temp directory is created lazily,
+        so a router that is constructed but never used leaves no files."""
+        if self._address is None:
+            self._socket_dir = tempfile.mkdtemp(prefix="repro-uds-")
+            self._address = os.path.join(self._socket_dir, "router.sock")
+        return self._address
+
+    def add_worker(self, name: str) -> UdsEndpoint:
+        """Register a worker; returns the endpoint it connects with."""
+        if name in self._expected:
+            raise ValueError(f"duplicate worker name: {name!r}")
+        self._expected.add(name)
+        return UdsEndpoint(self.address, name)
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._listener = mpc.Listener(self.address, family="AF_UNIX")
+        self._stop.clear()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="uds-accept", daemon=True
+        )
+        self._accept_thread.start()
+        super().start()
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                assert self._listener is not None
+                conn = self._listener.accept()
+            except (OSError, EOFError, AssertionError):
+                if self._stop.is_set():
+                    return
+                continue
+            try:
+                if not conn.poll(self.IDENTITY_TIMEOUT):
+                    conn.close()
+                    continue
+                name = conn.recv_bytes(256).decode("utf-8")
+            except (EOFError, OSError, UnicodeDecodeError):
+                conn.close()
+                continue
+            if name not in self._expected or name in self._parent_ends:
+                conn.close()
+                continue
+            self._parent_ends[name] = conn
+
+    def stop(self) -> None:
+        self._stop.set()
+        # Closing a listening socket does not reliably interrupt a blocked
+        # accept(); poke it with a throwaway connection so the accept loop
+        # wakes up, observes the stop flag and exits promptly.
+        if self._listener is not None:
+            try:
+                mpc.Client(self.address, family="AF_UNIX").close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+            self._accept_thread = None
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - platform dependent
+                pass
+            self._listener = None
+        super().stop()
+        if self._socket_dir is not None:
+            try:
+                if self._address is not None and os.path.exists(self._address):
+                    os.unlink(self._address)
+                os.rmdir(self._socket_dir)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            self._socket_dir = None
+
+
+#: Registered transports, by the name ``LocalCluster``/``Scenario`` select.
+TRANSPORTS = {
+    "pipe": PipeRouter,
+    "uds": UdsRouter,
+}
+
+
+def validate_transport(transport: str) -> str:
+    """Check a transport name against the registry; returns it unchanged.
+
+    The single validation point — ``Scenario``, ``LocalCluster`` and
+    :func:`create_router` all call this, so registering a new transport in
+    :data:`TRANSPORTS` is the only change needed to make it selectable.
+    """
+    if transport not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {transport!r} (known: {', '.join(sorted(TRANSPORTS))})"
+        )
+    return transport
+
+
+def create_router(transport: str) -> EnvelopeRouter:
+    """Instantiate the router for a named transport."""
+    return TRANSPORTS[validate_transport(transport)]()

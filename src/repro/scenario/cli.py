@@ -1,0 +1,203 @@
+"""``python -m repro`` — the command-line face of the scenario API.
+
+Three subcommands:
+
+* ``list-scenarios`` — the registered named scenarios and their backends;
+* ``run <scenario>`` — run one scenario on one backend and print its
+  normalised summary (``--backend``, ``--workers``, ``--seed``,
+  ``--transport``, ``--scale`` override the registered spec);
+* ``compare <scenario>`` — run the same scenario on several backends
+  (default: the three simulated designs) and print one comparison table.
+
+Examples::
+
+    python -m repro list-scenarios
+    python -m repro run figure3 --backend simulated
+    python -m repro run quickstart --backend realexec --transport uds
+    python -m repro compare crash-storm --backends simulated,central,dib
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+from typing import List, Optional
+
+from .backends import backend_names, compare_backends, run_scenario
+from .registry import get_scenario, list_scenarios
+from .result import format_comparison
+from .spec import Scenario
+
+__all__ = ["main"]
+
+
+def _exists_at(victim, canonical) -> bool:
+    """Does a victim / partition member still exist at this worker count?"""
+    from .spec import canonical_index
+
+    index = canonical_index(victim)
+    return index is None or 0 <= index < len(canonical)
+
+
+def _shrink_failures(scenario: Scenario, canonical) -> tuple:
+    """Drop failure victims that no longer exist at a smaller worker count."""
+    specs = []
+    for spec in scenario.failures:
+        victims = tuple(v for v in spec.victims if _exists_at(v, canonical))
+        if victims:
+            specs.append(replace(spec, victims=victims))
+    return tuple(specs)
+
+
+def _shrink_partitions(scenario: Scenario, canonical) -> "NetworkConfig":
+    """Drop partition members (and emptied partitions) that no longer exist."""
+    partitions = []
+    for p in scenario.network.partitions:
+        group_a = frozenset(n for n in p.group_a if _exists_at(n, canonical))
+        group_b = frozenset(n for n in p.group_b if _exists_at(n, canonical))
+        if group_a and group_b:
+            partitions.append(replace(p, group_a=group_a, group_b=group_b))
+    return replace(scenario.network, partitions=tuple(partitions))
+
+
+def _apply_overrides(scenario: Scenario, args: argparse.Namespace) -> Scenario:
+    """Apply the common CLI override flags to a registered scenario.
+
+    Shrinking ``--workers`` prunes failure victims and partition members
+    that no longer exist; anything dropped is reported, so the printed
+    description never silently claims behaviour the run no longer has.
+    """
+    changes = {}
+    if getattr(args, "workers", None) is not None:
+        from ..distributed.runner import worker_names
+
+        canonical = worker_names(args.workers)
+        changes["n_workers"] = args.workers
+        changes["failures"] = _shrink_failures(scenario, canonical)
+        changes["network"] = _shrink_partitions(scenario, canonical)
+        dropped_victims = sum(len(s.victims) for s in scenario.failures) - sum(
+            len(s.victims) for s in changes["failures"]
+        )
+        dropped_partitions = len(scenario.network.partitions) - len(
+            changes["network"].partitions
+        )
+        if dropped_victims or dropped_partitions:
+            print(
+                f"note: --workers {args.workers} dropped "
+                f"{dropped_victims} failure victim(s) and "
+                f"{dropped_partitions} partition(s) naming workers that no "
+                f"longer exist — the scenario's failure semantics changed"
+            )
+        if scenario.wire_generations is not None and len(scenario.wire_generations) != args.workers:
+            changes["wire_generations"] = None
+    if getattr(args, "seed", None) is not None:
+        changes["seed"] = args.seed
+    if getattr(args, "transport", None) is not None:
+        changes["transport"] = args.transport
+    if getattr(args, "scale", None) is not None:
+        changes["workload"] = replace(
+            scenario.workload, scale=scenario.workload.scale * args.scale
+        )
+    return scenario.with_overrides(**changes) if changes else scenario
+
+
+def _transport_names() -> tuple:
+    from ..realexec.transport import TRANSPORTS
+
+    return tuple(sorted(TRANSPORTS))
+
+
+def _add_override_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, help="override the worker count")
+    parser.add_argument("--seed", type=int, help="override the run seed")
+    parser.add_argument(
+        "--transport", choices=_transport_names(), help="realexec transport override"
+    )
+    parser.add_argument(
+        "--scale", type=float, help="multiply the workload scale (e.g. 0.1 for a quick run)"
+    )
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from ..analysis.tables import format_table
+
+    rows = [
+        {
+            "scenario": s.name,
+            "workload": s.workload.describe(),
+            "workers": s.n_workers,
+            "failures": sum(len(f.victims) for f in s.failures),
+            "description": s.description,
+        }
+        for s in list_scenarios()
+    ]
+    print(format_table(rows, title="--- registered scenarios ---"))
+    print(f"\nbackends: {', '.join(backend_names())}")
+    print("run one with: python -m repro run <scenario> --backend <backend>")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = _apply_overrides(get_scenario(args.scenario), args)
+    result = run_scenario(scenario, backend=args.backend)
+    if scenario.description:
+        print(f"{scenario.name}: {scenario.description}\n")
+    print(result.report())
+    if result.solved_correctly is False or not result.terminated:
+        print("\nnote: the run did not terminate on the reference optimum "
+              "(for the baseline backends under critical failures, that is the point)")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    scenario = _apply_overrides(get_scenario(args.scenario), args)
+    backends = [name.strip() for name in args.backends.split(",") if name.strip()]
+    results = compare_backends(scenario, backends)
+    if scenario.description:
+        print(f"{scenario.name}: {scenario.description}\n")
+    print(format_comparison(results, title=f"--- {scenario.name}: backend comparison ---"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run declarative fault-tolerance scenarios on any backend.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_p = sub.add_parser("list-scenarios", help="list the registered scenarios")
+    list_p.set_defaults(func=_cmd_list)
+
+    run_p = sub.add_parser("run", help="run one scenario on one backend")
+    run_p.add_argument("scenario", help="a registered scenario name")
+    run_p.add_argument(
+        "--backend",
+        default="simulated",
+        choices=backend_names(),
+        help="backend to run on (default: simulated)",
+    )
+    _add_override_flags(run_p)
+    run_p.set_defaults(func=_cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="run one scenario on several backends")
+    cmp_p.add_argument("scenario", help="a registered scenario name")
+    cmp_p.add_argument(
+        "--backends",
+        default="simulated,central,dib",
+        help="comma-separated backend names (default: simulated,central,dib)",
+    )
+    _add_override_flags(cmp_p)
+    cmp_p.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}")
+        return 2

@@ -1,0 +1,322 @@
+"""Declarative experiment specifications: the :class:`Scenario` dataclass.
+
+The paper's evaluation is comparative — the problem-specific mechanism vs. a
+central manager vs. DIB, under crashes, on simulated and real transports —
+so an experiment must be *describable once* and runnable everywhere.  A
+:class:`Scenario` is that description: a workload, a worker count, a network
+model, a failure schedule, the algorithm configuration and a seed.  Nothing
+in it names a backend; the same frozen object runs on the ``simulated``,
+``central``, ``dib`` and ``realexec`` backends (see
+:mod:`repro.scenario.backends`), which is the separation of fault-tolerance
+*policy* (this spec) from *mechanism* (the backend) that De Florio's
+application-layer fault-tolerance survey argues for.
+
+Workers are named canonically (``worker-00`` … ``worker-NN``); each backend
+maps those names onto its own (``cworker-…``, ``dworker-…``, ``rworker-…``),
+so failure schedules and network partitions written against the canonical
+names apply to every backend.  The special victim ``"critical"`` resolves to
+the backend's most critical node — the central manager, the DIB root
+machine, or plain ``worker-00`` for the designs that have no critical node.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..bnb.basic_tree import BasicTree
+from ..bnb.pool import SelectionRule
+from ..distributed.config import AlgorithmConfig
+from ..distributed.runner import NetworkConfig, worker_names
+
+__all__ = [
+    "WorkloadSpec",
+    "FailureSpec",
+    "Scenario",
+    "CRITICAL",
+    "canonical_index",
+    "translate_canonical",
+]
+
+#: Victim placeholder resolving to the backend's most critical node.
+CRITICAL = "critical"
+
+#: Canonical worker names (``worker-NN``), as produced by ``worker_names``.
+_CANONICAL_RE = re.compile(r"^worker-(\d+)$")
+
+
+def canonical_index(victim: Union[int, str]) -> Optional[int]:
+    """Worker index of a canonical reference (``2`` or ``"worker-02"``).
+
+    ``None`` for anything else — backend-specific entity names like the
+    central ``"manager"`` are not canonical.  This is the single definition
+    of "canonical worker reference" shared by victim resolution, partition
+    translation and the CLI's shrink logic.
+    """
+    if isinstance(victim, int):
+        return victim
+    match = _CANONICAL_RE.match(victim)
+    return int(match.group(1)) if match else None
+
+
+def translate_canonical(name: Union[int, str], names: Sequence[str]) -> str:
+    """Map a canonical worker reference onto one backend's entity names.
+
+    Non-canonical strings pass through verbatim; canonical references out
+    of range raise — a typo'd victim or partition member must fail loudly,
+    not silently run a different experiment than the spec claims.
+    """
+    index = canonical_index(name)
+    if index is None:
+        return str(name)
+    if not (0 <= index < len(names)):
+        raise ValueError(
+            f"canonical worker reference {name!r} out of range for "
+            f"{len(names)} workers"
+        )
+    return names[index]
+
+#: Workload kinds :meth:`WorkloadSpec.build` understands.
+_WORKLOAD_KINDS = ("tiny", "figure3", "table1", "random", "knapsack", "tree")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """How to build the workload tree — declaratively, from a seed.
+
+    ``kind`` selects the family:
+
+    * ``"tiny"`` / ``"figure3"`` / ``"table1"`` — the named paper workloads
+      (:mod:`repro.analysis.figures`); ``scale`` shrinks the node count;
+    * ``"random"`` — a calibrated random basic tree of ``nodes`` nodes with
+      ``mean_node_time`` seconds per node;
+    * ``"knapsack"`` — record the basic tree of a random 0/1 knapsack
+      instance with ``nodes`` items and attach a synthetic cost model of
+      ``mean_node_time`` seconds per node (the paper's full experimental
+      pipeline);
+    * ``"tree"`` — an explicit, prebuilt :class:`~repro.bnb.basic_tree.
+      BasicTree` carried in :attr:`tree` (used by benchmarks that must
+      factor workload construction out of a timing).
+    """
+
+    kind: str = "random"
+    #: Node count for ``random``; item count for ``knapsack``; unused else.
+    nodes: int = 301
+    #: Mean per-node cost in seconds (``random``/``knapsack``).
+    mean_node_time: float = 0.01
+    #: Workload seed (independent of the scenario's run seed).
+    seed: int = 7
+    #: Size multiplier: node count for the tree kinds, item count for
+    #: ``knapsack``.  Ignored only by ``tree`` (the tree is already built).
+    scale: float = 1.0
+    #: Optional display name override.
+    name: Optional[str] = None
+    #: Prebuilt tree for ``kind="tree"``.
+    tree: Optional[BasicTree] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _WORKLOAD_KINDS:
+            raise ValueError(f"unknown workload kind {self.kind!r} (known: {_WORKLOAD_KINDS})")
+        if self.kind == "tree" and self.tree is None:
+            raise ValueError("workload kind 'tree' requires an explicit tree")
+        if self.nodes < 1:
+            raise ValueError("nodes must be positive")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+    def build(self) -> BasicTree:
+        """Build (or return) the workload tree."""
+        if self.kind == "tree":
+            assert self.tree is not None
+            return self.tree
+        from ..analysis.figures import figure3_tree, table1_tree, tiny_tree
+
+        if self.kind == "tiny":
+            return tiny_tree(seed=self.seed, scale=self.scale)
+        if self.kind == "figure3":
+            return figure3_tree(scale=self.scale, seed=self.seed)
+        if self.kind == "table1":
+            return table1_tree(scale=self.scale, seed=self.seed)
+        if self.kind == "knapsack":
+            from ..bnb.cost_model import NodeTimeModel, assign_node_times
+            from ..bnb.basic_tree import record_basic_tree
+            from ..bnb.knapsack import random_knapsack
+
+            items = max(4, int(round(self.nodes * self.scale)))
+            problem = random_knapsack(items, seed=self.seed)
+            tree = record_basic_tree(problem, name=self.name or f"knapsack-{items}")
+            return assign_node_times(
+                tree, NodeTimeModel(mean=self.mean_node_time, cv=0.4, seed=self.seed)
+            )
+        from ..bnb.random_tree import RandomTreeSpec, generate_random_tree
+
+        nodes = max(3, int(round(self.nodes * self.scale)))
+        if nodes % 2 == 0:  # basic trees are binary: node counts are odd
+            nodes += 1
+        return generate_random_tree(
+            RandomTreeSpec(
+                nodes=nodes,
+                mean_node_time=self.mean_node_time,
+                seed=self.seed,
+                name=self.name or f"random-{nodes}n",
+            )
+        )
+
+    def describe(self) -> str:
+        """One-line human description."""
+        if self.kind == "tree":
+            return f"prebuilt tree {getattr(self.tree, 'name', '?')}"
+        if self.kind in ("tiny", "figure3", "table1"):
+            return f"{self.kind} paper workload (scale {self.scale:g}, seed {self.seed})"
+        if self.kind == "knapsack":
+            return f"recorded knapsack tree ({self.nodes} items, seed {self.seed})"
+        return f"random tree ({self.nodes} nodes, {self.mean_node_time:g}s/node, seed {self.seed})"
+
+
+@dataclass(frozen=True)
+class FailureSpec:
+    """One failure-injection instruction, backend-agnostic.
+
+    ``victims`` name workers by canonical name (``worker-01``), by index
+    (``1``), or with the placeholder :data:`CRITICAL`.  Exactly when the
+    crash happens depends on which of the timing fields is set:
+
+    * ``at_time`` — absolute simulated time (simulated backends);
+    * ``at_fraction`` — fraction of the *failure-free makespan* of the same
+      scenario on the same backend (the paper's "at about 85% of the
+      execution time" phrasing); the backend runs a failure-free reference
+      first to resolve it;
+    * ``after_seconds`` — wall-clock seconds after process start, used by the
+      ``realexec`` backend (real kills cannot be scheduled in simulated
+      time).  Defaults to 0.5 s when only simulated timings are given.
+    """
+
+    victims: Tuple[Union[int, str], ...]
+    at_time: Optional[float] = None
+    at_fraction: Optional[float] = None
+    after_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.victims:
+            raise ValueError("a FailureSpec needs at least one victim")
+        if self.at_time is not None and self.at_fraction is not None:
+            raise ValueError("set at_time or at_fraction, not both")
+        if self.at_time is None and self.at_fraction is None:
+            object.__setattr__(self, "at_fraction", 0.5)
+        if self.at_fraction is not None and not (0.0 <= self.at_fraction <= 1.0):
+            raise ValueError("at_fraction must be in [0, 1]")
+        if self.at_time is not None and self.at_time < 0:
+            raise ValueError("at_time must be non-negative")
+        if self.after_seconds is not None and self.after_seconds < 0:
+            raise ValueError("after_seconds must be non-negative")
+
+    def resolve_victims(self, names: Sequence[str], *, critical: str) -> List[str]:
+        """Map the victim specs onto one backend's entity names.
+
+        Indices and canonical ``worker-NN`` names are validated against the
+        worker count (:func:`translate_canonical`) — a typo'd or
+        out-of-range victim must fail loudly, not silently produce a
+        failure-free run that claims to have survived a crash.  Any other
+        string passes through verbatim (backend-specific entities like the
+        central ``"manager"``).
+        """
+        return [
+            critical if victim == CRITICAL else translate_canonical(victim, names)
+            for victim in self.victims
+        ]
+
+    def wall_clock_delay(self) -> float:
+        """Kill delay for the realexec backend (wall-clock seconds)."""
+        if self.after_seconds is not None:
+            return self.after_seconds
+        if self.at_time is not None:
+            return self.at_time
+        return 0.5
+
+
+def _default_algorithm_config() -> AlgorithmConfig:
+    # Depth-first selection matches the paper's experiments (random trees are
+    # replayed without elimination, so depth-first keeps the pools small).
+    return AlgorithmConfig(selection_rule=SelectionRule.DEPTH_FIRST)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative experiment, runnable on every backend.
+
+    The fields split into *what is computed* (``workload``, ``prune``,
+    ``granularity``), *who computes it* (``n_workers``), *over what*
+    (``network``, ``transport``, ``wire_generations``), *what goes wrong*
+    (``failures``) and *how the mechanism is tuned* (``config``).  ``seed``
+    makes the whole run deterministic on the simulated backends.
+
+    See ``docs/SCENARIOS.md`` for the full field reference and the
+    backend-support matrix.
+    """
+
+    name: str = "scenario"
+    description: str = ""
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    n_workers: int = 3
+    seed: int = 0
+    config: AlgorithmConfig = field(default_factory=_default_algorithm_config)
+    network: NetworkConfig = field(default_factory=NetworkConfig.paper_default)
+    failures: Tuple[FailureSpec, ...] = ()
+    #: Replay the tree with dynamic pruning against the incumbent.
+    prune: bool = False
+    #: Constant factor applied to all node times.
+    granularity: float = 1.0
+    #: Record a timeline trace (simulated backend only).
+    enable_trace: bool = False
+    #: Measure the sequential reference time (enables ``speedup()``).
+    compute_uniprocessor_time: bool = False
+    #: Explicit sequential reference time, for sweeps that measured it once
+    #: (takes precedence over ``compute_uniprocessor_time``).
+    uniprocessor_time: Optional[float] = None
+    #: Simulated-time cap (``None`` = backend default).
+    max_sim_time: Optional[float] = None
+    max_events: Optional[int] = None
+    # ----- realexec-only knobs (ignored by the simulated backends) -------- #
+    #: Transport between real worker processes: ``"pipe"`` or ``"uds"``.
+    transport: str = "pipe"
+    #: Per-worker wire-format generation (rolling-upgrade runs).
+    wire_generations: Optional[Tuple[int, ...]] = None
+    #: Artificial per-node sleep, to emulate heavier nodes on real processes.
+    node_sleep: float = 0.0
+    #: Wall-clock budget of a realexec run.
+    max_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        # The valid transports live in one place: the realexec registry
+        # (imported lazily — the spec layer stays import-light).
+        from ..realexec.transport import validate_transport
+
+        validate_transport(self.transport)
+        if self.wire_generations is not None and len(self.wire_generations) != self.n_workers:
+            raise ValueError("wire_generations must name one generation per worker")
+        if self.granularity < 0:
+            raise ValueError("granularity must be non-negative")
+        if self.failures:
+            object.__setattr__(self, "failures", tuple(self.failures))
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    def with_overrides(self, **changes) -> "Scenario":
+        """Return a copy with some fields replaced (sweep helper)."""
+        return replace(self, **changes)
+
+    def build_tree(self) -> BasicTree:
+        """Build the workload tree."""
+        return self.workload.build()
+
+    def canonical_worker_names(self) -> List[str]:
+        """The backend-independent worker names (``worker-00`` …)."""
+        return worker_names(self.n_workers)
+
+    def needs_reference_run(self) -> bool:
+        """True when a failure is scheduled as a fraction of the makespan."""
+        return any(spec.at_fraction is not None for spec in self.failures)

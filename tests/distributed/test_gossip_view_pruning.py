@@ -1,0 +1,105 @@
+"""Pruning per-peer gossip views when the membership layer evicts a peer.
+
+The per-peer ``known`` tries of the delta-gossip state grow with the peer
+count (ROADMAP footprint item).  When the failure detector declares a peer
+dead, its :class:`~repro.core.completion.PeerGossipView` is dropped wholesale
+(`CompletionTracker.prune_peer_view` / `WorkerEntity.evict_peer`), counted in
+``gossip_views_pruned``; a false suspicion only costs one full-table first
+delta when the peer reappears.
+"""
+
+from repro.bnb.random_tree import RandomTreeSpec, generate_random_tree
+from repro.core.completion import CompletionTracker
+from repro.core.encoding import PathCode
+from repro.distributed import AlgorithmConfig, run_tree_simulation
+from repro.distributed.worker import WorkerEntity
+from repro.gossip.failure_detector import GossipFailureDetector
+
+
+def _code(*pairs):
+    return PathCode(tuple(pairs))
+
+
+class TestTrackerPruning:
+    def test_prune_drops_view_and_counts(self):
+        tracker = CompletionTracker("me")
+        tracker.record_completed(_code((0, 0), (1, 0)))
+        tracker.record_completed(_code((0, 1)))
+        delta = tracker.build_delta_snapshot("peer")
+        assert not delta.is_empty
+        tracker.note_snapshot_ack("peer", delta.full_digest)
+        assert len(tracker.peer_view("peer").known) > 0
+
+        assert tracker.prune_peer_view("peer") is True
+        assert tracker.gossip_views_pruned == 1
+        assert "peer" not in tracker._peer_views
+
+    def test_prune_unknown_peer_is_a_noop(self):
+        tracker = CompletionTracker("me")
+        assert tracker.prune_peer_view("ghost") is False
+        assert tracker.gossip_views_pruned == 0
+
+    def test_reappearing_peer_bootstraps_from_scratch(self):
+        """After a prune the next delta is a full-table first contact —
+        exactly the fresh-peer behaviour, so a false eviction is harmless."""
+        tracker = CompletionTracker("me")
+        tracker.record_completed(_code((0, 0), (1, 0)))
+        first = tracker.build_delta_snapshot("peer")
+        tracker.note_snapshot_ack("peer", first.full_digest)
+        # Acknowledged: the steady-state delta to this peer is now empty.
+        assert tracker.build_delta_snapshot("peer").is_empty
+
+        tracker.prune_peer_view("peer")
+        rebootstrap = tracker.build_delta_snapshot("peer")
+        assert rebootstrap.codes == tracker.table.codes()
+        assert tracker.gossip_views_pruned == 1
+
+
+class TestWorkerEviction:
+    def _worker(self, members):
+        tree = generate_random_tree(RandomTreeSpec(nodes=31, seed=4))
+        from repro.bnb.tree_problem import TreeReplayProblem
+
+        problem = TreeReplayProblem(tree, prune=False)
+        return WorkerEntity(members[0], problem, AlgorithmConfig(), members)
+
+    def test_evict_peer_prunes_view_and_target_list(self):
+        worker = self._worker(["w0", "w1", "w2"])
+        worker.tracker.note_peer_covers("w1", [_code((0, 0))])
+        assert worker.evict_peer("w1") is True
+        assert worker.peers == ["w2"]
+        assert worker.stats.gossip_views_pruned == 1
+        # Idempotent: a second eviction finds nothing to forget.
+        assert worker.evict_peer("w1") is False
+
+    def test_failure_detector_cleanup_drives_eviction(self):
+        """The integration the ROADMAP item asks for: failure-detector
+        eviction (cleanup timeout) prunes the worker's gossip views."""
+        worker = self._worker(["w0", "w1", "w2"])
+        worker.tracker.note_peer_covers("w1", [_code((0, 0))])
+        worker.tracker.note_peer_covers("w2", [_code((0, 1))])
+
+        detector = GossipFailureDetector(
+            "w0", fail_timeout=1.0, cleanup_timeout=2.0, gossip_interval=0.5
+        )
+        detector.merge((("w1", 1), ("w2", 1)), now=0.0)
+        detector.tick(3.0)
+        detector.merge((("w2", 2),), now=3.0)  # w2 stays fresh, w1 goes silent
+        evicted = detector.cleanup(3.0)
+        assert evicted == ["w1"]
+
+        for peer in evicted:
+            assert worker.evict_peer(peer)
+        assert worker.peers == ["w2"]
+        assert worker.stats.gossip_views_pruned == 1
+        assert "w2" in worker.tracker._peer_views and "w1" not in worker.tracker._peer_views
+
+
+class TestEndToEndCounter:
+    def test_counter_flows_into_run_stats(self):
+        """The new stat is part of every run result (zero without eviction)."""
+        tree = generate_random_tree(RandomTreeSpec(nodes=41, mean_node_time=0.002, seed=6))
+        result = run_tree_simulation(tree, 2, seed=1, prune=False)
+        for stats in result.workers.values():
+            assert stats.gossip_views_pruned == 0
+            assert "gossip_views_pruned" in stats.as_dict()

@@ -271,3 +271,168 @@ class TestMixedVersionCluster:
             decode_envelope(delta_frame, max_version=1)
         # ...but a gen-2 receiver reads it, so the upgrade is forward-safe.
         assert decode_envelope(delta_frame).payload.delta.sender == "new"
+
+
+class TestUdsTransport:
+    """The Unix-domain-socket transport behind the Transport seam."""
+
+    def test_routing_between_endpoints(self):
+        from repro.realexec.transport import UdsRouter
+
+        router = UdsRouter()
+        endpoint_a = router.add_worker("a")
+        endpoint_b = router.add_worker("b")
+        router.start()
+        try:
+            conn_a = endpoint_a.connect()
+            conn_b = endpoint_b.connect()
+            request = WorkRequest(requester="a", best=BestSolution(2.0, "a"))
+            send_envelope(conn_a, Envelope("a", "b", request))
+            assert conn_b.poll(2.0)
+            envelope = recv_envelope(conn_b)
+            assert envelope.payload == request and envelope.sender == "a"
+            conn_a.close()
+            conn_b.close()
+        finally:
+            router.stop()
+        assert router.forwarded == 1
+        assert router.kind_bytes.get("work_request", 0) > 0
+        assert router.transport == "uds"
+
+    def test_unknown_identity_rejected(self):
+        from repro.realexec.transport import UdsEndpoint, UdsRouter
+
+        router = UdsRouter()
+        endpoint = router.add_worker("known")
+        router.start()
+        try:
+            stranger = UdsEndpoint(router.address, "stranger").connect()
+            conn = endpoint.connect()
+            send_envelope(conn, Envelope("known", "known", WorkRequest(requester="known")))
+            assert conn.poll(2.0)  # loopback proves the router is healthy
+            recv_envelope(conn)
+            conn.close()
+            stranger.close()
+        finally:
+            router.stop()
+        assert "stranger" not in router._parent_ends
+
+    def test_duplicate_worker_rejected(self):
+        from repro.realexec.transport import UdsRouter
+
+        router = UdsRouter()
+        router.add_worker("a")
+        with pytest.raises(ValueError):
+            router.add_worker("a")
+        router.stop()
+
+    def test_create_router_names(self):
+        from repro.realexec.transport import PipeRouter, UdsRouter, create_router
+
+        assert isinstance(create_router("pipe"), PipeRouter)
+        uds = create_router("uds")
+        assert isinstance(uds, UdsRouter)
+        uds.stop()
+        with pytest.raises(ValueError):
+            create_router("carrier-pigeon")
+
+
+class TestPayloadKindAccounting:
+    def test_router_counts_bytes_per_kind(self):
+        router = PipeRouter()
+        end_a = router.add_worker("a")
+        end_b = router.add_worker("b")
+        router.start()
+        try:
+            frame = encode_envelope(Envelope("a", "b", WorkRequest(requester="a")))
+            end_a.send_bytes(frame)
+            end_a.send_bytes(frame)
+            _wait_for(lambda: router.forwarded == 2)
+        finally:
+            router.stop()
+        assert router.kind_bytes == {"work_request": 2 * len(frame)}
+        assert router.kind_messages == {"work_request": 2}
+
+    def test_envelope_route_info_reads_payload_tag(self):
+        from repro.realexec.transport import envelope_route_info, payload_kind
+        from repro.wire.frame import Tag
+
+        frame = encode_envelope(Envelope("src", "dst", WorkRequest(requester="src")))
+        sender, dest, tag = envelope_route_info(frame)
+        assert (sender, dest) == ("src", "dst")
+        assert tag == int(Tag.WORK_REQUEST)
+        assert payload_kind(tag) == "work_request"
+        assert payload_kind(None) == "unknown"
+        assert payload_kind(9999) == "tag_9999"
+
+
+@pytest.mark.skipif(sys.platform.startswith("win"), reason="POSIX multiprocessing only")
+class TestLocalClusterOverUds:
+    def test_three_process_run_over_uds(self, small_tree):
+        result = run_local_cluster(
+            small_tree, 3, prune=False, max_seconds=40.0, transport="uds"
+        )
+        assert result.transport == "uds"
+        assert result.surviving_terminated
+        assert result.solved_correctly
+        assert result.bytes_forwarded > 0
+        assert result.bytes_by_kind.get("work_report", 0) > 0
+
+    def test_unknown_transport_rejected(self, small_tree):
+        with pytest.raises(ValueError):
+            LocalCluster(small_tree, 2, transport="tcp")
+
+
+@pytest.mark.skipif(sys.platform.startswith("win"), reason="POSIX multiprocessing only")
+class TestKillSchedule:
+    def test_each_group_killed_at_its_own_delay(self, small_tree):
+        cluster = LocalCluster(small_tree, 3, prune=False, max_seconds=60.0, node_sleep=0.02)
+        result = cluster.run(
+            kill_schedule=[(0.1, ["rworker-01"]), (0.3, ["rworker-02"])]
+        )
+        if len(result.killed) < 2:
+            pytest.skip("cluster finished before both kills could be injected")
+        assert result.killed == ["rworker-01", "rworker-02"]
+        assert result.surviving_terminated
+        assert result.solved_correctly
+
+
+class TestDeadConnectionHandling:
+    def test_closed_worker_connection_is_dropped(self):
+        router = PipeRouter()
+        end_a = router.add_worker("a")
+        end_b = router.add_worker("b")
+        router.start()
+        try:
+            end_a.close()  # worker "a" dies
+            _wait_for(lambda: "a" not in router._parent_ends)
+            assert "a" not in router._parent_ends
+            # The router keeps forwarding for the survivors.
+            send_envelope(end_b, Envelope("b", "b", WorkRequest(requester="b")))
+            assert end_b.poll(2.0)
+            recv_envelope(end_b)
+        finally:
+            router.stop()
+        assert router.forwarded == 1
+
+    def test_silent_uds_client_does_not_block_registration(self, monkeypatch):
+        import multiprocessing.connection as mpc
+
+        from repro.realexec.transport import UdsRouter
+
+        monkeypatch.setattr(UdsRouter, "IDENTITY_TIMEOUT", 0.1)
+        router = UdsRouter()
+        endpoint = router.add_worker("late")
+        router.start()
+        try:
+            # A client that connects but never identifies (killed mid-start).
+            silent = mpc.Client(router.address, family="AF_UNIX")
+            conn = endpoint.connect()  # must still register despite the stall
+            send_envelope(conn, Envelope("late", "late", WorkRequest(requester="late")))
+            assert conn.poll(2.0)
+            recv_envelope(conn)
+            silent.close()
+            conn.close()
+        finally:
+            router.stop()
+        assert router.forwarded == 1

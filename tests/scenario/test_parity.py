@@ -1,0 +1,140 @@
+"""Cross-backend parity: one seeded scenario, every backend, one answer.
+
+The acceptance bar of the unified Scenario API: the same frozen
+:class:`~repro.scenario.spec.Scenario` runs unmodified on all four backends
+and returns a :class:`~repro.scenario.result.ScenarioResult` with an
+identical schema; the three simulated backends agree on the optimal solution
+value and terminate; the realexec backend is smoke-tested on the quickstart
+scenario over both the ``pipe`` and ``uds`` transports.
+"""
+
+import sys
+
+import pytest
+
+from repro.scenario import (
+    FailureSpec,
+    Scenario,
+    ScenarioResult,
+    WorkloadSpec,
+    compare_backends,
+    get_scenario,
+    run_scenario,
+)
+
+SIMULATED_BACKENDS = ("simulated", "central", "dib")
+
+#: The shared parity workload: small enough that every backend is quick,
+#: big enough that load balancing and reporting actually happen.
+PARITY = Scenario(
+    name="parity",
+    workload=WorkloadSpec(kind="random", nodes=81, mean_node_time=0.005, seed=23),
+    n_workers=3,
+    seed=5,
+)
+
+
+class TestSimulatedBackendParity:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return compare_backends(PARITY, SIMULATED_BACKENDS)
+
+    def test_all_terminate(self, results):
+        for name, result in results.items():
+            assert result.terminated, f"{name} did not terminate"
+
+    def test_all_agree_on_the_optimum(self, results):
+        optimum = PARITY.build_tree().optimal_value()
+        for name, result in results.items():
+            assert result.solved_correctly, f"{name} missed the optimum"
+            assert result.best_value == pytest.approx(optimum), name
+        values = {round(r.best_value, 9) for r in results.values()}
+        assert len(values) == 1
+
+    def test_identical_result_schema(self, results):
+        shapes = {name: tuple(sorted(result.summary())) for name, result in results.items()}
+        assert len(set(shapes.values())) == 1, shapes
+        for result in results.values():
+            assert isinstance(result, ScenarioResult)
+            assert result.n_workers == PARITY.n_workers
+            assert result.bytes_total > 0 and result.messages_total > 0
+            assert sum(result.bytes_by_kind.values()) == result.bytes_total
+
+    def test_per_worker_stats_cover_all_workers(self, results):
+        for name, result in results.items():
+            assert len(result.workers) == PARITY.n_workers, name
+            assert sum(w.nodes_expanded for w in result.workers.values()) == (
+                result.total_nodes_expanded
+            ), name
+
+
+class TestCrashParity:
+    """A worker crash (not the critical node) is survivable on every design."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        scenario = PARITY.with_overrides(
+            name="parity-crash",
+            n_workers=4,
+            failures=(FailureSpec(victims=(2,), at_fraction=0.4),),
+        )
+        return compare_backends(scenario, SIMULATED_BACKENDS)
+
+    def test_all_survive_and_solve(self, results):
+        for name, result in results.items():
+            assert result.terminated, f"{name} did not survive the crash"
+            assert result.solved_correctly, name
+            assert len(result.crashed_workers) == 1, name
+
+    def test_fault_tolerance_counters_engage(self, results):
+        # Each design recovers differently (complement / reassignment /
+        # redo), but the normalised counter must register the recovery work.
+        engaged = {name: result.recoveries for name, result in results.items()}
+        assert any(count > 0 for count in engaged.values()), engaged
+
+
+class TestCriticalNodeAsymmetry:
+    """The paper's headline claim, expressed as one scenario override."""
+
+    def test_only_the_paper_mechanism_survives_critical_crash(self):
+        from repro.scenario import CRITICAL
+
+        scenario = PARITY.with_overrides(
+            name="parity-critical",
+            failures=(FailureSpec(victims=(CRITICAL,), at_fraction=0.4),),
+        )
+        results = compare_backends(scenario, SIMULATED_BACKENDS)
+        assert results["simulated"].terminated and results["simulated"].solved_correctly
+        assert not results["central"].terminated
+        assert not results["dib"].terminated
+
+
+@pytest.mark.skipif(sys.platform.startswith("win"), reason="POSIX multiprocessing only")
+class TestRealexecSmoke:
+    """The quickstart scenario on real processes, both transports."""
+
+    @pytest.mark.parametrize("transport", ["pipe", "uds"])
+    def test_quickstart_scenario_runs(self, transport):
+        scenario = get_scenario("quickstart").with_overrides(
+            failures=(), transport=transport, max_seconds=40.0
+        )
+        result = run_scenario(scenario, backend="realexec")
+        assert result.backend == "realexec"
+        assert result.terminated
+        assert result.solved_correctly
+        assert result.raw.transport == transport
+        assert result.bytes_total > 0
+        assert sum(result.bytes_by_kind.values()) == result.bytes_total
+
+    def test_realexec_summary_schema_matches_simulated(self):
+        real = run_scenario(
+            get_scenario("quickstart").with_overrides(failures=()), backend="realexec"
+        )
+        sim = run_scenario(PARITY, backend="simulated")
+        assert sorted(real.summary()) == sorted(sim.summary())
+
+    def test_rolling_upgrade_scenario_on_realexec(self):
+        scenario = get_scenario("rolling-upgrade")
+        result = run_scenario(scenario, backend="realexec")
+        assert result.terminated and result.solved_correctly
+        assert result.raw.n_workers == 4
