@@ -14,10 +14,10 @@ down by default and reports the effective size.  Environment variables:
 
 Performance-regression workflow (tracked trajectory)
 ----------------------------------------------------
-``bench_core_micro.py``, ``bench_wire_codec.py``, ``bench_delta_gossip.py``
-and ``bench_scenario_overhead.py`` (the tuple ``BENCH_FILES`` in
-``compare_baseline.py``) are additionally tracked against a checked-in
-baseline so PRs touching the hot paths can show their effect:
+``bench_core_micro.py``, ``bench_wire_codec.py``, ``bench_delta_gossip.py``,
+``bench_scenario_overhead.py`` and ``bench_scale.py`` (the tuple
+``BENCH_FILES`` in ``compare_baseline.py``) are additionally tracked against
+a checked-in baseline so PRs touching the hot paths can show their effect:
 
 1. ``BENCH_BASELINE.json`` holds the trimmed statistics of a
    ``pytest-benchmark`` run of the tracked files on the reference

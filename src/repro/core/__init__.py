@@ -7,6 +7,8 @@ Iamnitchi & Foster (ICPP 2000):
   subproblems (:class:`~repro.core.encoding.PathCode`);
 * :mod:`repro.core.codeset` — contracted sets of completed codes and the
   sibling-merge / ancestor-subsumption contraction rules;
+* :mod:`repro.core.arena` — the interned completion-trie arena: hash-consed
+  nodes shared by tables and per-peer gossip views at scale;
 * :mod:`repro.core.completion` — per-process completion tracking and the
   work-report emission policy;
 * :mod:`repro.core.complement` — complement computation and recovery-candidate
@@ -23,6 +25,7 @@ The classes here are transport-agnostic: the simulated workers in
 :mod:`repro.realexec` both build on exactly these objects.
 """
 
+from .arena import ArenaCodeSet, TrieArena
 from .codeset import CodeSet, ContractionStats, contract, contract_reference, covers
 from .complement import (
     SelectionStrategy,
@@ -51,6 +54,8 @@ __all__ = [
     "common_prefix_length",
     "CodeSet",
     "ContractionStats",
+    "TrieArena",
+    "ArenaCodeSet",
     "contract",
     "contract_reference",
     "covers",

@@ -118,8 +118,33 @@ def _keys_to_pairs(keys: Iterable[int]) -> Tuple[Branch, ...]:
 #: Upper bound on memoised coverage queries per set (reset on mutation).
 _COVERS_CACHE_MAX = 8192
 
+#: Sentinel node ids of :mod:`repro.core.arena` (duplicated here because the
+#: arena imports this module; the arena asserts the values match).
+_ARENA_DONE = 0
+_ARENA_EMPTY = 1
+
 #: Shared frontier view of an empty set: the whole tree is missing.
 _ROOT_FRONTIER = frozenset({ROOT})
+
+# Structural-digest constants — must match ``repro.core.work_report``'s
+# ``table_digest`` exactly (:meth:`CodeSet.structural_digest` computes the
+# same value by walking the trie directly; duplicated because work_report
+# imports this module).
+_FNV64_PRIME = 0x100000001B3
+_FNV64_OFFSET = 0xCBF29CE484222325
+_MASK64 = (1 << 64) - 1
+_DONE_DIGEST = 0x9E3779B97F4A7C15
+
+
+def _digest_node(node: _TrieDict) -> int:
+    """Structural FNV digest of one trie node (see ``table_digest``)."""
+    h = _FNV64_OFFSET
+    for key in sorted(node):
+        value = node[key]
+        child = _DONE_DIGEST if value is True else _digest_node(value)
+        h = ((h ^ (key + 1)) * _FNV64_PRIME) & _MASK64
+        h = ((h ^ child) * _FNV64_PRIME) & _MASK64
+    return h
 
 
 def covers(codes: Iterable[PathCode], target: PathCode) -> bool:
@@ -274,6 +299,9 @@ class CodeSet:
         "_chain",
         "_last_keys",
         "_last_valid",
+        "_arena",
+        "_anid",
+        "_apending",
         "stats",
     )
 
@@ -318,6 +346,17 @@ class CodeSet:
         self._chain: List[_TrieDict] = [self._root]
         self._last_keys: Tuple[int, ...] = ()
         self._last_valid = 1
+        #: Optional :class:`repro.core.arena.TrieArena` shadow.  When
+        #: attached, ``_anid`` mirrors this set's logical content as an
+        #: interned arena node id, so derived views (``codes()``, digests,
+        #: deltas) are shared with every other holder of the same content.
+        #: The nested-dict trie stays authoritative — including its
+        #: contraction stats, which the simulation charges time from.
+        self._arena = None
+        self._anid = _ARENA_EMPTY
+        #: Novel key paths inserted since the last shadow read — the arena
+        #: mirror is batched (see :meth:`_arena_sync`).
+        self._apending: List[Tuple[int, ...]] = []
         self.stats = ContractionStats()
         if codes:
             self.update(codes)
@@ -379,10 +418,20 @@ class CodeSet:
                     stack.append((value, path + (key,)))
 
     def codes(self) -> frozenset:
-        """Return the contracted codes as a frozen set (memoised until changed)."""
+        """Return the contracted codes as a frozen set (memoised until changed).
+
+        With an arena shadow attached the frozenset comes from the arena's
+        per-node memo, so every table or view in the group holding the same
+        logical content hands out the *same object* — receivers recognise it
+        by identity and merge in O(1).
+        """
         cache = self._codes_cache
         if cache is None:
-            cache = frozenset(self._iter_completed())
+            arena = self._arena
+            if arena is not None:
+                cache = arena.codes_at(self._arena_sync())
+            else:
+                cache = frozenset(self._iter_completed())
             self._codes_cache = cache
         return cache
 
@@ -446,6 +495,19 @@ class CodeSet:
             self._max_depth = deepest
             self._max_depth_dirty = False
         return self._max_depth
+
+    def structural_digest(self) -> int:
+        """Order-independent table digest, walking the trie directly.
+
+        Produces exactly ``work_report.table_digest(self.codes())`` — the
+        trie *is* the canonical layout the digest is defined over — without
+        materialising the codes frozenset or rebuilding a trie from it.
+        """
+        if self._complete:
+            return (_DONE_DIGEST ^ _FNV64_PRIME) & _MASK64
+        if not self._count:
+            return 0
+        return (_digest_node(self._root) ^ (self._count * _FNV64_PRIME)) & _MASK64
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -522,6 +584,12 @@ class CodeSet:
             node = child
 
         stats.insertions += 1
+        if self._arena is not None:
+            # Record the (not covered) insertion for the arena shadow; the
+            # mirror is rebuilt lazily in one batch when the shadow is next
+            # read (:meth:`_arena_sync`), so a gossip-quiet stretch of
+            # completions costs one merge instead of one spine rebuild each.
+            self._apending.append(keys)
         self._codes_cache = None
         self._frontier_cache = None
         self._frozen_cache = None
@@ -697,12 +765,16 @@ class CodeSet:
         self._chain = [self._root]
         self._last_keys = ()
         self._last_valid = 1
+        self._anid = _ARENA_EMPTY
+        self._apending.clear()
 
     def copy(self) -> "CodeSet":
         """Return an independent copy (statistics are not copied).
 
         The trie is cloned structurally — no re-insertion, no cascades.
         """
+        if self._arena is not None:
+            self._arena_sync()
         clone = CodeSet()
         stack = [(self._root, clone._root)]
         while stack:
@@ -722,6 +794,8 @@ class CodeSet:
         clone._codes_cache = self._codes_cache
         clone._frontier = None if self._frontier is None else set(self._frontier)
         clone._frontier_cache = self._frontier_cache
+        clone._arena = self._arena
+        clone._anid = self._anid
         # The covers memo is deliberately not shared: the clone is typically
         # about to diverge from the original.
         return clone
@@ -776,7 +850,73 @@ class CodeSet:
         self._chain = [self._root]
         self._last_keys = ()
         self._last_valid = 1
+        arena = self._arena
+        if arena is not None:
+            onid = arena.node_of(other)
+            if onid is not None:
+                self._anid = onid
+            else:
+                self._anid = arena.node_from_keys(self._iter_completed_keys())
         return True
+
+    # ------------------------------------------------------------------ #
+    # Arena shadow
+    # ------------------------------------------------------------------ #
+    def attach_arena(self, arena) -> None:
+        """Shadow this set's content in a :class:`repro.core.arena.TrieArena`.
+
+        From this point every mutation keeps an interned arena node id in
+        sync with the trie, so derived views are shared group-wide.  The
+        nested-dict trie — and its :class:`ContractionStats` — remains the
+        authoritative implementation.
+        """
+        self._arena = arena
+        self._apending.clear()
+        if self._complete:
+            self._anid = _ARENA_DONE
+        elif self._count:
+            self._anid = arena.node_from_keys(self._iter_completed_keys())
+        else:
+            self._anid = _ARENA_EMPTY
+
+    def _arena_sync(self) -> int:
+        """Flush the batched mirror and return the up-to-date arena node id.
+
+        ``add`` only records each novel key path; the interned node is
+        rebuilt here, once per *read* of the shadow, by interning the whole
+        pending batch as one small trie and merging it in.  Between gossip
+        reads this replaces per-code spine rebuilds (one intern per trie
+        level per code) with a single memoised merge.
+        """
+        pend = self._apending
+        if pend:
+            arena = self._arena
+            if len(pend) == 1:
+                self._anid = arena.insert(self._anid, pend[0])[0]
+            else:
+                self._anid = arena.merge(self._anid, arena.node_from_keys(pend))
+            pend.clear()
+        return self._anid
+
+    def _arena_commit(self, nid: int) -> None:
+        """Adopt ``nid`` as the mirror state, discarding the pending batch.
+
+        For callers that already know the interned node equal to this set's
+        content — e.g. a tracker that merged a received delta whose arena
+        node was computed once by the sender — this replaces the batch
+        flush's ``node_from_keys`` + ``merge`` with a pointer store.  The
+        caller is responsible for ``nid`` actually matching the dict state
+        (canonical contracted form is unique, so "same content" is exactly
+        "same id").
+        """
+        self._apending.clear()
+        self._anid = nid
+
+    def arena_id(self) -> Optional[int]:
+        """Arena node id of the current content (``None`` when no shadow)."""
+        if self._arena is None:
+            return None
+        return self._arena_sync()
 
     # ------------------------------------------------------------------ #
     # Derived views
@@ -808,6 +948,11 @@ class CodeSet:
             return frozenset()
         if self._count == 0:
             return _ROOT_FRONTIER
+        if self._arena is not None:
+            # Shadowed sets share the arena's per-node frontier memo (and its
+            # interned PathCodes) instead of rebuilding a private frozenset
+            # after every mutation.
+            return self._arena.frontier_at(self._arena_sync())
         cache = self._frontier_cache
         if cache is None:
             frontier = self._frontier

@@ -43,8 +43,9 @@ when both of their subtrees have.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
+from .arena import ArenaCodeSet, TrieArena
 from .codeset import CodeSet, covers as _covers
 from .complement import SelectionStrategy, complement_frontier, select_recovery_candidate
 from .encoding import _CODE_HEADER_BYTES, _PAIR_WIRE_BYTES, PathCode
@@ -53,7 +54,6 @@ from .work_report import (
     CompletedTableSnapshot,
     DeltaSnapshot,
     WorkReport,
-    table_digest,
 )
 
 __all__ = ["CompletionTracker", "PeerGossipView"]
@@ -62,6 +62,10 @@ __all__ = ["CompletionTracker", "PeerGossipView"]
 #: is one reference to an already-memoised ``codes()`` frozenset, so the cap
 #: only bounds pathological ack starvation, not real memory.
 _PENDING_SENDS_MAX = 8
+
+#: Deferred reverse-channel evidence entries per peer view before an eager
+#: fold (bounds the backlog of views that are never read).
+_COVERS_BACKLOG_MAX = 256
 
 
 class PeerGossipView:
@@ -87,29 +91,53 @@ class PeerGossipView:
     needs to unlearn either.
     """
 
-    __slots__ = ("known", "acked_digest", "sequence", "pending")
+    __slots__ = ("known", "acked_digest", "sequence", "pending", "_covers_backlog")
 
-    def __init__(self) -> None:
+    def __init__(self, arena: Optional[TrieArena] = None) -> None:
         #: Contracted codes the peer is known to cover (its own traffic plus
-        #: everything it has acknowledged).
-        self.known: CodeSet = CodeSet()
+        #: everything it has acknowledged).  With a shared arena the view is
+        #: one interned node id — O(pointer) per peer instead of O(table).
+        self.known: CodeSet = CodeSet() if arena is None else ArenaCodeSet(arena)
         #: Digest of the last acknowledged table state (0 = nothing acked).
         self.acked_digest: int = 0
         #: Per-peer delta sequence number (tracing only).
         self.sequence: int = 0
-        #: Unacknowledged sends: digest -> table codes at that send, in send
-        #: order, bounded to :data:`_PENDING_SENDS_MAX` entries.
-        self.pending: Dict[int, FrozenSet[PathCode]] = {}
+        #: Unacknowledged sends: digest -> table state at that send, in send
+        #: order, bounded to :data:`_PENDING_SENDS_MAX` entries.  The state is
+        #: a codes frozenset (nested-dict mode) or an interned arena node id
+        #: (arena mode — O(1) to remember and to fold in on ack).
+        self.pending: Dict[int, Union[FrozenSet[PathCode], int]] = {}
+        #: Reverse-channel evidence not yet folded into ``known`` (arena mode
+        #: only).  Coverage is monotone, so folding can wait until the view
+        #: is actually *read* — most views of a large group only ever absorb
+        #: evidence and are pruned without a single delta being built, and
+        #: deferring makes :meth:`note_covers` an O(1) append for them.
+        self._covers_backlog: List[FrozenSet[PathCode]] = []
 
     def note_covers(self, codes: Iterable[PathCode]) -> None:
         """Record codes the peer provably covers (it sent them to us)."""
+        if type(codes) is frozenset and isinstance(self.known, ArenaCodeSet):
+            backlog = self._covers_backlog
+            backlog.append(codes)
+            if len(backlog) >= _COVERS_BACKLOG_MAX:
+                self._fold_covers()
+            return
         self.known.update(codes)
 
-    def remember_send(self, digest: int, codes: FrozenSet[PathCode]) -> None:
+    def _fold_covers(self) -> None:
+        """Fold the deferred reverse-channel evidence into ``known``."""
+        backlog = self._covers_backlog
+        if backlog:
+            update = self.known.update
+            for codes in backlog:
+                update(codes)
+            backlog.clear()
+
+    def remember_send(self, digest: int, state: Union[FrozenSet[PathCode], int]) -> None:
         """Record an outgoing delta so its future ack can advance ``known``."""
         pending = self.pending
         pending.pop(digest, None)  # re-insert at the end on a re-send
-        pending[digest] = codes
+        pending[digest] = state
         while len(pending) > _PENDING_SENDS_MAX:
             pending.pop(next(iter(pending)))
 
@@ -121,14 +149,19 @@ class PeerGossipView:
         — while later, still-unacknowledged sends stay pending so their acks
         can advance the view further.
         """
-        codes = self.pending.get(digest)
-        if codes is None:
+        state = self.pending.get(digest)
+        if state is None:
             return False
         for sent_digest in list(self.pending):
             del self.pending[sent_digest]
             if sent_digest == digest:
                 break
-        self.known.update(codes)
+        if isinstance(state, int):
+            # Arena mode: the recorded state is an interned node id and
+            # ``known`` is an ArenaCodeSet — fold it in O(pointer).
+            self.known.merge_nid(state)
+        else:
+            self.known.update(state)
         self.acked_digest = digest
         return True
 
@@ -160,6 +193,13 @@ class CompletionTracker:
         Maximum simulated time the new-codes list may sit unreported before a
         report is sent anyway ("or the list has not been updated for a long
         time").  ``None`` disables the staleness rule.
+    arena:
+        Optional shared :class:`~repro.core.arena.TrieArena`.  When given,
+        the table is shadowed in the arena and every peer view becomes an
+        arena-backed set, so digests, ``codes()`` frozensets and deltas are
+        computed once per distinct table state *group-wide* and per-peer
+        state costs O(pointer).  Purely a cost-model change: the nested-dict
+        table stays authoritative, including its contraction stats.
     """
 
     def __init__(
@@ -168,15 +208,20 @@ class CompletionTracker:
         *,
         report_threshold: int = 8,
         report_staleness: Optional[float] = None,
+        arena: Optional[TrieArena] = None,
     ) -> None:
         if report_threshold < 1:
             raise ValueError("report_threshold must be at least 1")
         self.owner = owner
         self.report_threshold = report_threshold
         self.report_staleness = report_staleness
+        #: Shared trie arena (None = nested-dict only).
+        self.arena = arena
 
         #: Contracted table of every completed code known to this process.
         self.table = CodeSet()
+        if arena is not None:
+            self.table.attach_arena(arena)
         #: Codes completed locally since the last report (not yet compressed).
         self._new_local: List[PathCode] = []
         #: Simulated time of the last report emission (or of construction).
@@ -304,12 +349,20 @@ class CompletionTracker:
     # Delta gossip (anti-entropy table dissemination)
     # ------------------------------------------------------------------ #
     def table_digest_now(self) -> int:
-        """Digest of the current table (memoised per table state)."""
+        """Digest of the current table (memoised per table state).
+
+        With a shared arena the digest memo lives in the arena, keyed by the
+        interned node id — one digest per distinct table state in the whole
+        group, not per tracker.
+        """
+        arena = self.arena
+        if arena is not None:
+            return arena.digest(self.table._arena_sync())
         codes = self.table.codes()
         memo = self._digest_memo
         if memo is not None and memo[0] is codes:
             return memo[1]
-        digest = table_digest(codes)
+        digest = self.table.structural_digest()
         self._digest_memo = (codes, digest)
         return digest
 
@@ -317,7 +370,7 @@ class CompletionTracker:
         """The delta-gossip view of ``peer`` (created on first use)."""
         view = self._peer_views.get(peer)
         if view is None:
-            view = PeerGossipView()
+            view = PeerGossipView(self.arena)
             self._peer_views[peer] = view
         return view
 
@@ -339,9 +392,34 @@ class CompletionTracker:
         and callers typically skip sending it altogether.
         """
         view = self.peer_view(peer)
+        view._fold_covers()
+        known = view.known
+        arena = self.arena
+        if arena is not None and isinstance(known, ArenaCodeSet):
+            # Arena fast path: digest is an O(1) read off the interned node,
+            # the diff is memoised group-wide on the (table, known) node-id
+            # pair, and the send is remembered as a node id — the table's
+            # codes() frozenset is only materialised when codes actually ship.
+            table_nid = self.table._arena_sync()
+            digest = arena.digest(table_nid)
+            if not known:
+                delta_codes = arena.codes_at(table_nid)
+            elif digest == view.acked_digest or known.is_complete():
+                delta_codes = frozenset()
+            else:
+                delta_codes = arena.diff(table_nid, known._nid)
+            view.sequence += 1
+            if delta_codes:
+                view.remember_send(digest, table_nid)
+            return DeltaSnapshot(
+                sender=self.owner,
+                codes=delta_codes,
+                full_digest=digest,
+                sequence=view.sequence,
+                best=best if best is not None else BestSolution(),
+            )
         codes = self.table.codes()
         digest = self.table_digest_now()
-        known = view.known
         if not known:
             delta_codes = codes  # shares the memoised frozenset
         elif digest == view.acked_digest or known.is_complete():
@@ -429,17 +507,44 @@ class CompletionTracker:
         counters feeding the redundant-communication statistics are updated as
         a side effect.
         """
+        table = self.table
+        codes = report.codes
+        arena = self.arena
+        delta_nid = None
+        pre_nid = None
+        if arena is not None:
+            # Delta codes arrive as the sender's shared ``codes()``/``diff``
+            # frozenset, which the arena knows by identity.  One memoised
+            # merge (skipped entirely when the dict walk below proves the
+            # report fully redundant) then yields the post-merge table node —
+            # shared by every receiver in the same state — so the per-code
+            # adds need not be mirrored (the batch flush is replaced by a
+            # pointer store).  The dict walk still runs: it is the stats
+            # oracle.
+            delta_nid = arena.node_for_codes(codes)
+            if delta_nid is not None:
+                pre_nid = table._arena_sync()
         changed = False
-        table_add = self.table.add
-        for code in report.codes:
-            self.codes_received += 1
+        table_add = table.add
+        received = 0
+        redundant = 0
+        stored = 0
+        for code in codes:
+            received += 1
             # A single trie walk does both jobs: ``add`` returns False exactly
             # when the code was already covered (the redundant case).
             if table_add(code):
-                self.bytes_stored_remote += code.wire_size()
+                stored += code.wire_size()
                 changed = True
             else:
-                self.redundant_codes_received += 1
+                redundant += 1
+        self.codes_received += received
+        self.redundant_codes_received += redundant
+        self.bytes_stored_remote += stored
+        if delta_nid is not None:
+            table._arena_commit(
+                arena.merge(pre_nid, delta_nid) if changed else pre_nid
+            )
         return changed
 
     def merge_snapshot(self, snapshot: CompletedTableSnapshot) -> bool:

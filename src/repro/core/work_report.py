@@ -55,26 +55,59 @@ _BEST_SOLUTION_BYTES = 10
 _DIGEST_BYTES = 8
 
 
+_FNV64_PRIME = 0x100000001B3
+_FNV64_OFFSET = 0xCBF29CE484222325
+_MASK64 = (1 << 64) - 1
+#: Digest of a subtree that is entirely completed (a trie DONE leaf).
+_DONE_DIGEST = 0x9E3779B97F4A7C15
+#: Trie marker for "a code terminates here" (packed keys are >= 0).
+_DONE_MARK = -1
+
+
+def _trie_digest(node: dict) -> int:
+    """Recursive structural digest of a nested-dict completion trie."""
+    if _DONE_MARK in node:
+        return _DONE_DIGEST
+    h = _FNV64_OFFSET
+    for key in sorted(k for k in node if k >= 0):
+        h = ((h ^ (key + 1)) * _FNV64_PRIME) & _MASK64
+        h = ((h ^ _trie_digest(node[key])) * _FNV64_PRIME) & _MASK64
+    return h
+
+
 def table_digest(codes) -> int:
     """Order-independent 64-bit digest of a set of completed codes.
 
-    XOR-combines the wire-stable :meth:`~repro.core.encoding.PathCode.digest`
-    of every code and mixes in the cardinality, so any two processes holding
-    the same contracted table compute the same value regardless of iteration
-    order, interpreter or hash randomisation.  Delta gossip uses it as the
-    acknowledgement token: a receiver echoes the digest of the sender's full
-    table, and the sender advances its per-peer basis only on an exact match.
+    The digest is *structural*: the codes are laid out as a canonical
+    completion trie (sorted packed branch keys, completed nodes subsuming
+    their subtrees) and FNV-folded bottom-up, so any two processes holding
+    the same contracted table compute the same value regardless of
+    iteration order, interpreter or hash randomisation — and a shared
+    :class:`~repro.core.arena.TrieArena` can compute the identical value in
+    O(1) from the per-node digests it interns bottom-up.  Delta gossip uses
+    it as the acknowledgement token: a receiver echoes the digest of the
+    sender's full table, and the sender advances its per-peer basis only on
+    an exact match.
 
     A collision (two different tables with equal digests) can at worst make
     a sender skip codes one particular peer still misses — the epidemic work
     reports still deliver them — so 64 opportunistic bits are plenty.
     """
-    acc = 0
+    root: dict = {}
     count = 0
     for code in codes:
-        acc ^= code.digest()
         count += 1
-    return (acc ^ (count * 0x100000001B3)) & 0xFFFFFFFFFFFFFFFF
+        try:
+            keys = code._keys
+        except AttributeError:
+            keys = code._key_path()
+        node = root
+        for key in keys:
+            node = node.setdefault(key, {})
+        node[_DONE_MARK] = True
+    if count == 0:
+        return 0
+    return (_trie_digest(root) ^ (count * _FNV64_PRIME)) & _MASK64
 
 
 @dataclass(frozen=True, slots=True)

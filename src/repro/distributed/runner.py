@@ -16,10 +16,11 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from ..bnb.basic_tree import BasicTree
 from ..bnb.problem import BranchAndBoundProblem
 from ..bnb.tree_problem import TreeReplayProblem
+from ..core.arena import TrieArena
 from ..simulation.engine import SimulationEngine
 from ..simulation.failures import CrashEvent, FailureInjector
 from ..simulation.metrics import MetricsCollector
-from ..simulation.network import LatencyModel, Network, Partition
+from ..simulation.network import LatencyModel, Network, Partition, TrafficStats
 from ..simulation.rng import RngRegistry
 from ..simulation.tracing import TimelineTrace
 from .config import AlgorithmConfig
@@ -30,6 +31,7 @@ from .worker import WorkerEntity
 __all__ = [
     "NetworkConfig",
     "DistributedBnBSimulation",
+    "assemble_run_result",
     "run_tree_simulation",
     "sequential_reference_time",
     "worker_names",
@@ -56,6 +58,103 @@ class NetworkConfig:
         return cls()
 
 
+def assemble_run_result(
+    workers: Sequence[WorkerEntity],
+    *,
+    n_workers: int,
+    end_time: float,
+    problem: BranchAndBoundProblem,
+    reference_optimum: Optional[float],
+    uniprocessor_time: Optional[float],
+    metrics: MetricsCollector,
+    network_stats: Optional[TrafficStats],
+    kind_bytes: Optional[Dict[str, int]] = None,
+    trace: Optional[TimelineTrace] = None,
+    engine_counters: Optional[Dict[str, int]] = None,
+) -> RunResult:
+    """Aggregate per-worker outcomes into a :class:`RunResult`.
+
+    Shared by the single-engine runner and the sharded engine (which passes
+    the union of all shards' workers plus merged network statistics).
+    """
+    worker_stats: Dict[str, WorkerRunStats] = {}
+    crashed: List[str] = []
+    best_value: Optional[float] = None
+    all_terminated = True
+    makespan = 0.0
+    total_expanded = 0
+    total_bb_time = 0.0
+    expanded_union: set = set()
+    expanded_total_codes = 0
+
+    for worker in workers:
+        stats = worker.finalize_stats()
+        worker_stats[worker.name] = stats
+        total_expanded += stats.nodes_expanded
+        total_bb_time += stats.time.get("bb", 0.0)
+        expanded_union |= worker._expanded_codes
+        expanded_total_codes += len(worker._expanded_codes)
+        if stats.crashed:
+            crashed.append(worker.name)
+            continue
+        if not stats.terminated:
+            all_terminated = False
+        if stats.terminated_at is not None:
+            makespan = max(makespan, stats.terminated_at)
+        if stats.best_value is not None:
+            if best_value is None or problem.is_improvement(stats.best_value, best_value):
+                best_value = stats.best_value
+
+    if makespan == 0.0:
+        makespan = end_time
+
+    messages_by_kind: Dict[str, int] = {
+        "work_requests": 0,
+        "work_grants": 0,
+        "work_denials": 0,
+        "work_reports": 0,
+        "table_gossips": 0,
+        "delta_gossips": 0,
+        "gossip_acks": 0,
+    }
+    counters = dict(engine_counters) if engine_counters else {}
+    entity_steps = 0
+    for worker in workers:
+        stats = worker.stats
+        messages_by_kind["work_requests"] += stats.work_requests_sent
+        messages_by_kind["work_grants"] += stats.work_grants_sent
+        messages_by_kind["work_denials"] += stats.work_denials_sent
+        messages_by_kind["work_reports"] += stats.reports_sent
+        messages_by_kind["table_gossips"] += stats.table_gossips_sent
+        messages_by_kind["delta_gossips"] += stats.delta_gossips_sent
+        messages_by_kind["gossip_acks"] += stats.gossip_acks_sent
+        entity_steps += stats.entity_steps
+    counters["entity_steps"] = entity_steps
+
+    redundant_nodes = expanded_total_codes - len(expanded_union)
+
+    return RunResult(
+        n_workers=n_workers,
+        makespan=makespan,
+        best_value=best_value,
+        reference_optimum=reference_optimum,
+        all_terminated=all_terminated,
+        crashed_workers=crashed,
+        workers=worker_stats,
+        total_nodes_expanded=total_expanded,
+        redundant_nodes_expanded=max(0, redundant_nodes),
+        total_bb_time=total_bb_time,
+        uniprocessor_time=uniprocessor_time,
+        metrics=metrics,
+        network=network_stats,
+        total_bytes_sent=network_stats.bytes_sent if network_stats is not None else 0,
+        messages_by_kind=messages_by_kind,
+        bytes_by_kind=dict(kind_bytes) if kind_bytes else {},
+        trace=trace,
+        engine_counters=counters,
+    )
+
+
 class DistributedBnBSimulation:
     """Builds and runs one simulated distributed B&B execution."""
 
@@ -74,12 +173,14 @@ class DistributedBnBSimulation:
         expected_node_cost: float = 0.0,
         max_sim_time: Optional[float] = None,
         max_events: Optional[int] = None,
+        use_arena: bool = True,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be at least 1")
         self.problem = problem
         self.n_workers = n_workers
         self.expected_node_cost = expected_node_cost
+        self.use_arena = use_arena
         self.config = config if config is not None else AlgorithmConfig.paper_default()
         self.network_config = network if network is not None else NetworkConfig.paper_default()
         self.failures = list(failures)
@@ -94,6 +195,8 @@ class DistributedBnBSimulation:
         self.engine: Optional[SimulationEngine] = None
         self.net: Optional[Network] = None
         self.workers: List[WorkerEntity] = []
+        #: Persistent scan position for :meth:`_stop_condition` (see there).
+        self._stop_scan = 0
         self.metrics = MetricsCollector()
         self.trace: Optional[TimelineTrace] = TimelineTrace() if enable_trace else None
         self.injector = FailureInjector(self.failures)
@@ -118,7 +221,12 @@ class DistributedBnBSimulation:
 
         names = worker_names(self.n_workers)
         root_sub = self.problem.root_subproblem()
+        # One process-wide arena: every worker's completed table and all of
+        # its per-peer gossip views intern their trie nodes here, so shared
+        # completion state is stored once instead of once per view.
+        arena = TrieArena() if self.use_arena else None
         self.workers = []
+        self._stop_scan = 0
         for index, name in enumerate(names):
             worker = WorkerEntity(
                 name,
@@ -130,6 +238,7 @@ class DistributedBnBSimulation:
                 trace=self.trace,
                 initial_work=[root_sub] if index == 0 else [],
                 expected_node_cost=self.expected_node_cost,
+                arena=arena,
             )
             self.net.register(worker)
             self.workers.append(worker)
@@ -141,9 +250,19 @@ class DistributedBnBSimulation:
     # Execution
     # ------------------------------------------------------------------ #
     def _stop_condition(self) -> bool:
-        for worker in self.workers:
+        # Evaluated after every event, so the naive all()-scan would cost
+        # O(workers) per event.  "Dead or terminated" is monotone — a worker
+        # that passed the test once passes it forever — so scanning resumes
+        # where the last call found its counterexample: O(1) amortised.
+        workers = self.workers
+        i = self._stop_scan
+        n = len(workers)
+        while i < n:
+            worker = workers[i]
             if worker.alive and not worker.terminated:
+                self._stop_scan = i
                 return False
+            i += 1
         return True
 
     def run(self) -> RunResult:
@@ -170,82 +289,22 @@ class DistributedBnBSimulation:
     # Result assembly
     # ------------------------------------------------------------------ #
     def _collect_results(self, end_time: float) -> RunResult:
-        assert self.net is not None
-        worker_stats: Dict[str, WorkerRunStats] = {}
-        crashed: List[str] = []
-        best_value: Optional[float] = None
-        all_terminated = True
-        makespan = 0.0
-        total_expanded = 0
-        total_bb_time = 0.0
-        expanded_union: set = set()
-        expanded_total_codes = 0
-
-        for worker in self.workers:
-            stats = worker.finalize_stats()
-            worker_stats[worker.name] = stats
-            total_expanded += stats.nodes_expanded
-            total_bb_time += stats.time.get("bb", 0.0)
-            expanded_union |= worker._expanded_codes
-            expanded_total_codes += len(worker._expanded_codes)
-            if stats.crashed:
-                crashed.append(worker.name)
-                continue
-            if not stats.terminated:
-                all_terminated = False
-            if stats.terminated_at is not None:
-                makespan = max(makespan, stats.terminated_at)
-            if stats.best_value is not None:
-                if best_value is None or self.problem.is_improvement(stats.best_value, best_value):
-                    best_value = stats.best_value
-
-        if makespan == 0.0:
-            makespan = end_time
-
-        messages_by_kind: Dict[str, int] = {}
-        for worker in self.workers:
-            messages_by_kind["work_requests"] = (
-                messages_by_kind.get("work_requests", 0) + worker.stats.work_requests_sent
-            )
-            messages_by_kind["work_grants"] = (
-                messages_by_kind.get("work_grants", 0) + worker.stats.work_grants_sent
-            )
-            messages_by_kind["work_denials"] = (
-                messages_by_kind.get("work_denials", 0) + worker.stats.work_denials_sent
-            )
-            messages_by_kind["work_reports"] = (
-                messages_by_kind.get("work_reports", 0) + worker.stats.reports_sent
-            )
-            messages_by_kind["table_gossips"] = (
-                messages_by_kind.get("table_gossips", 0) + worker.stats.table_gossips_sent
-            )
-            messages_by_kind["delta_gossips"] = (
-                messages_by_kind.get("delta_gossips", 0) + worker.stats.delta_gossips_sent
-            )
-            messages_by_kind["gossip_acks"] = (
-                messages_by_kind.get("gossip_acks", 0) + worker.stats.gossip_acks_sent
-            )
-
-        redundant_nodes = expanded_total_codes - len(expanded_union)
-
-        return RunResult(
+        assert self.net is not None and self.engine is not None
+        return assemble_run_result(
+            self.workers,
             n_workers=self.n_workers,
-            makespan=makespan,
-            best_value=best_value,
+            end_time=end_time,
+            problem=self.problem,
             reference_optimum=self.reference_optimum,
-            all_terminated=all_terminated,
-            crashed_workers=crashed,
-            workers=worker_stats,
-            total_nodes_expanded=total_expanded,
-            redundant_nodes_expanded=max(0, redundant_nodes),
-            total_bb_time=total_bb_time,
             uniprocessor_time=self.uniprocessor_time,
             metrics=self.metrics,
-            network=self.net.stats,
-            total_bytes_sent=self.net.stats.bytes_sent,
-            messages_by_kind=messages_by_kind,
-            bytes_by_kind=dict(self.net.kind_bytes),
+            network_stats=self.net.stats,
+            kind_bytes=self.net.kind_bytes,
             trace=self.trace,
+            engine_counters={
+                "events_processed": self.engine.events_processed,
+                "peak_heap_len": self.engine.peak_heap_len,
+            },
         )
 
 
@@ -285,6 +344,9 @@ def run_tree_simulation(
     max_events: Optional[int] = None,
     uniprocessor_time: Optional[float] = None,
     compute_uniprocessor_time: bool = True,
+    use_arena: bool = True,
+    shards: int = 1,
+    shard_processes: Optional[bool] = None,
 ) -> RunResult:
     """Run the distributed algorithm on a basic tree and return the result.
 
@@ -295,13 +357,45 @@ def run_tree_simulation(
     otherwise it is measured with a sequential pruned run unless
     ``compute_uniprocessor_time`` is disabled.
 
+    ``shards > 1`` partitions the workers across that many simulation shards
+    with deterministic cross-shard message exchange
+    (:mod:`repro.simulation.sharding`); ``shard_processes`` selects OS
+    processes (``None`` picks them automatically on multi-core hosts).
+
     As an *experiment-facing* entry point this is superseded by the unified
     Scenario API (``repro.scenario``, backend ``"simulated"``), which wraps
     it; it remains the supported programmatic runner underneath.
     """
-    problem = TreeReplayProblem(tree, granularity=granularity, prune=prune)
+    if shards < 1:
+        raise ValueError(f"shards must be at least 1, got {shards}")
+    if shards > n_workers:
+        raise ValueError(
+            f"cannot split {n_workers} worker(s) across {shards} shards: "
+            "each shard needs at least one worker (reduce --shards or raise workers)"
+        )
     if uniprocessor_time is None and compute_uniprocessor_time:
         uniprocessor_time = sequential_reference_time(tree, granularity=granularity, prune=prune)
+    if shards > 1:
+        from ..simulation.sharding import run_sharded_tree_simulation
+
+        return run_sharded_tree_simulation(
+            tree,
+            n_workers,
+            shards=shards,
+            processes=shard_processes,
+            config=config,
+            network=network,
+            failures=failures,
+            seed=seed,
+            granularity=granularity,
+            prune=prune,
+            enable_trace=enable_trace,
+            max_sim_time=max_sim_time,
+            max_events=max_events,
+            uniprocessor_time=uniprocessor_time,
+            use_arena=use_arena,
+        )
+    problem = TreeReplayProblem(tree, granularity=granularity, prune=prune)
     expected_node_cost = tree.mean_node_time() * granularity
     sim = DistributedBnBSimulation(
         problem,
@@ -316,5 +410,6 @@ def run_tree_simulation(
         expected_node_cost=expected_node_cost,
         max_sim_time=max_sim_time,
         max_events=max_events,
+        use_arena=use_arena,
     )
     return sim.run()

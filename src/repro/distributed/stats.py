@@ -49,6 +49,8 @@ class WorkerRunStats:
     #: Steps that skipped the message/report machinery entirely (empty inbox,
     #: nothing due) via the worker's dirty-flag fast path.
     fast_path_steps: int = 0
+    #: Total scheduled entity steps this worker executed (scale diagnostics).
+    entity_steps: int = 0
     crashed: bool = False
     crashed_at: Optional[float] = None
     terminated: bool = False
@@ -81,6 +83,7 @@ class WorkerRunStats:
             "recovery_aborted": self.recovery_aborted,
             "redundant_expansions": self.redundant_expansions,
             "fast_path_steps": self.fast_path_steps,
+            "entity_steps": self.entity_steps,
             "crashed": self.crashed,
             "crashed_at": self.crashed_at,
             "terminated": self.terminated,
@@ -135,6 +138,10 @@ class RunResult:
     bytes_by_kind: Dict[str, int] = field(default_factory=dict)
     #: Optional execution timeline (Figures 5/6).
     trace: Optional[TimelineTrace] = None
+    #: Engine-level scale counters: ``events_processed``, ``peak_heap_len``
+    #: and ``entity_steps`` (summed across shards when the run was sharded;
+    #: ``peak_heap_len`` is the max over shards).
+    engine_counters: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # Correctness checks

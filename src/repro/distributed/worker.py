@@ -34,11 +34,13 @@ benchmarks read back out.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence as _SequenceABC
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..bnb.pool import SubproblemPool
 from ..bnb.problem import BranchAndBoundProblem, Subproblem
 from ..bnb.sequential import NodeExpander
+from ..core.arena import TrieArena
 from ..core.completion import CompletionTracker
 from ..core.encoding import PathCode
 from ..core.recovery import RecoveryPolicy
@@ -60,7 +62,82 @@ from .messages import (
 )
 from .stats import WorkerRunStats
 
-__all__ = ["WorkerEntity"]
+__all__ = ["PeerRoster", "WorkerEntity"]
+
+
+class PeerRoster(_SequenceABC):
+    """Constant-memory sequence view of "every member except me".
+
+    A 10k-worker group holding one private ``peers`` list per worker costs
+    O(n²) references before the first event fires.  This view shares the
+    runner's single roster list and skips the owner by index arithmetic, so
+    a worker's peer set costs O(1) memory while behaving exactly like the
+    list it replaces: same order, same ``len``, same indexing — which keeps
+    ``rng.choice`` / ``rng.sample`` draws bit-identical to the seed engine.
+
+    Eviction is the rare path (it only happens once a membership layer
+    declares a peer dead), so :meth:`remove` materialises a private list on
+    first use and delegates from then on.
+    """
+
+    __slots__ = ("_members", "_owner", "_skip", "_materialized")
+
+    def __init__(self, members: Sequence[str], owner: str) -> None:
+        self._members = members
+        self._owner = owner
+        try:
+            self._skip = members.index(owner)
+        except ValueError:
+            self._skip = len(members)
+        self._materialized: Optional[List[str]] = None
+
+    def _list(self) -> List[str]:
+        if self._materialized is None:
+            self._materialized = [m for m in self._members if m != self._owner]
+        return self._materialized
+
+    def __len__(self) -> int:
+        if self._materialized is not None:
+            return len(self._materialized)
+        return len(self._members) - (1 if self._skip < len(self._members) else 0)
+
+    def __getitem__(self, index: Union[int, slice]):
+        if self._materialized is not None:
+            return self._materialized[index]
+        if isinstance(index, slice):
+            return self._list()[index]
+        n = len(self)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("peer index out of range")
+        return self._members[index if index < self._skip else index + 1]
+
+    def __contains__(self, name: object) -> bool:
+        if self._materialized is not None:
+            return name in self._materialized
+        return name != self._owner and name in self._members
+
+    def __iter__(self):
+        if self._materialized is not None:
+            return iter(self._materialized)
+        owner = self._owner
+        return (m for m in self._members if m != owner)
+
+    def remove(self, name: str) -> None:
+        self._list().remove(name)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PeerRoster):
+            other = list(other)
+        if isinstance(other, (list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    __hash__ = None  # mutable sequence semantics, like the list it replaces
+
+    def __repr__(self) -> str:  # pragma: no cover - repr formatting only
+        return f"PeerRoster(n={len(self)}, owner={self._owner!r})"
 
 
 class WorkerEntity(Entity):
@@ -107,15 +184,19 @@ class WorkerEntity(Entity):
         trace: Optional[TimelineTrace] = None,
         initial_work: Sequence[Subproblem] = (),
         expected_node_cost: float = 0.0,
+        arena: Optional[TrieArena] = None,
     ) -> None:
         super().__init__(name)
         self.problem = problem
         self.config = config
-        self.members = list(members)
-        self.peers = [m for m in self.members if m != name]
+        # Share the runner's roster rather than copying it: a 10k-worker run
+        # would otherwise hold 10k private copies (O(n^2) references).
+        self.members = members if isinstance(members, (list, tuple)) else list(members)
+        self.peers = PeerRoster(self.members, name)
         self.rng = rng if rng is not None else random.Random(0)
         self.metrics = metrics if metrics is not None else MetricsCollector()
         self.metrics.register(name)
+        self._time_account = self.metrics.time[name]
         self.trace = trace
 
         # Algorithm state ------------------------------------------------- #
@@ -127,6 +208,7 @@ class WorkerEntity(Entity):
             name,
             report_threshold=config.report_threshold,
             report_staleness=config.report_staleness,
+            arena=arena,
         )
         self.termination = TerminationDetector(self.tracker)
         self.recovery = RecoveryPolicy(
@@ -148,6 +230,8 @@ class WorkerEntity(Entity):
         self._last_table_gossip = 0.0
         self._idle_poll_armed = False
         self._finished = False
+        self._steps = 0
+        self._step_label = f"{name}:step"
         self._expanded_codes: set = set()
         #: Exponential moving average of recent node costs, used to scale the
         #: recovery starvation threshold to the workload's granularity.
@@ -171,8 +255,14 @@ class WorkerEntity(Entity):
     def _charge(self, category: str, amount: float) -> float:
         """Charge simulated time to an accounting category and return it."""
         if amount > 0:
-            self.metrics.charge(self.name, category, amount)
-        return max(0.0, amount)
+            # Equivalent to ``self.metrics.charge(self.name, category,
+            # amount)`` against the account registered in ``__init__``, with
+            # the per-call name lookup and category validation hoisted out of
+            # this hot path (every message and step charges something).
+            account = self._time_account
+            setattr(account, category, getattr(account, category) + amount)
+            return amount
+        return 0.0
 
     def _trace_state(self, state: str) -> None:
         if self.trace is not None:
@@ -274,12 +364,13 @@ class WorkerEntity(Entity):
             return
         self._step_scheduled = True
         assert self.engine is not None
-        self.engine.schedule(delay, self._step, label=f"{self.name}:step")
+        self.engine.post(delay, self._step, label=self._step_label)
 
     def _step(self) -> None:
         self._step_scheduled = False
         if not self.alive or self.terminated:
             return
+        self._steps += 1
         now = self._now()
 
         # Close an idle period if one was open.
@@ -813,6 +904,9 @@ class WorkerEntity(Entity):
         self.stats.best_value = self.incumbent.value
         self.stats.recovery_activations = self.recovery.stats.activations
         self.stats.gossip_views_pruned = self.tracker.gossip_views_pruned
+        self.stats.entity_steps = self._steps
+        if self._steps:
+            self.metrics.count(self.name, "entity_steps", self._steps)
         account = self.metrics.time.get(self.name)
         if account is not None:
             self.stats.time = account.as_dict()

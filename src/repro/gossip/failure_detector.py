@@ -18,7 +18,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
-__all__ = ["HeartbeatEntry", "GossipFailureDetector"]
+__all__ = ["HeartbeatEntry", "GossipFailureDetector", "DEFAULT_SAMPLE_CAP"]
 
 
 @dataclass
@@ -36,6 +36,14 @@ HeartbeatDigest = Tuple[Tuple[str, int], ...]
 _DIGEST_ENTRY_BYTES = 12
 _DIGEST_HEADER_BYTES = 24
 
+#: Default table size above which target choice samples candidates instead
+#: of scanning (and sorting) every member each round.
+DEFAULT_SAMPLE_CAP = 64
+
+#: Sampling attempts per requested target before giving up and falling back
+#: to the exact full scan (only relevant when most of the group is stale).
+_SAMPLE_ATTEMPTS_PER_TARGET = 8
+
 
 class GossipFailureDetector:
     """Counter-based epidemic failure detector.
@@ -52,6 +60,12 @@ class GossipFailureDetector:
         rule, enforced loosely here as ``>= fail_timeout``).
     gossip_interval:
         How often the owner increments its own heartbeat and gossips.
+    sample_cap:
+        Table size above which :meth:`choose_targets` stops scanning every
+        member per round and instead draws seeded candidate samples, keeping
+        per-round target selection O(fanout) instead of O(n log n) at large
+        group sizes.  :attr:`sampled_rounds` / :attr:`broadcast_rounds` count
+        which path each round took.
     """
 
     def __init__(
@@ -63,20 +77,32 @@ class GossipFailureDetector:
         gossip_interval: float = 1.0,
         fanout: int = 1,
         rng: Optional[random.Random] = None,
+        sample_cap: int = DEFAULT_SAMPLE_CAP,
     ) -> None:
         if fail_timeout <= 0 or cleanup_timeout < fail_timeout or gossip_interval <= 0:
             raise ValueError("invalid failure-detector timeouts")
         if fanout < 1:
             raise ValueError("fanout must be at least 1")
+        if sample_cap < 1:
+            raise ValueError("sample_cap must be at least 1")
         self.owner = owner
         self.fail_timeout = fail_timeout
         self.cleanup_timeout = cleanup_timeout
         self.gossip_interval = gossip_interval
         self.fanout = fanout
         self.rng = rng if rng is not None else random.Random(0)
+        self.sample_cap = sample_cap
+        #: Rounds where targets were drawn by seeded sampling (large tables).
+        self.sampled_rounds = 0
+        #: Rounds where the whole alive list was scanned (small tables, or a
+        #: sampling miss when most of the group is stale).
+        self.broadcast_rounds = 0
         self._table: Dict[str, HeartbeatEntry] = {
             owner: HeartbeatEntry(owner, heartbeat=0, last_increase=0.0)
         }
+        # Insertion-ordered copy of the table's keys, so the sampling path
+        # can index members in O(1) without materialising a list per round.
+        self._names: List[str] = [owner]
 
     # ------------------------------------------------------------------ #
     # Local heartbeat
@@ -109,6 +135,7 @@ class GossipFailureDetector:
             entry = self._table.get(name)
             if entry is None:
                 self._table[name] = HeartbeatEntry(name, heartbeat=heartbeat, last_increase=now)
+                self._names.append(name)
                 new_members.append(name)
             elif heartbeat > entry.heartbeat:
                 entry.heartbeat = heartbeat
@@ -144,6 +171,8 @@ class GossipFailureDetector:
             if (now - entry.last_increase) > self.cleanup_timeout:
                 del self._table[name]
                 removed.append(name)
+        if removed:
+            self._names = list(self._table)
         return sorted(removed)
 
     def members(self) -> List[str]:
@@ -151,8 +180,48 @@ class GossipFailureDetector:
         return sorted(self._table)
 
     def choose_targets(self, now: float) -> List[str]:
-        """Pick gossip targets among currently alive members."""
+        """Pick gossip targets among currently alive members.
+
+        Small tables take the exact path: scan every member, then sample
+        ``fanout`` of the alive ones.  Past :attr:`sample_cap` members the
+        per-peer, per-round full scan is what makes gossip cost grow O(n)
+        with the group, so large tables instead draw seeded candidate
+        samples and keep the fresh ones — O(fanout) per round — falling
+        back to the exact scan only when sampling cannot find enough live
+        members (i.e. when most of the group is stale).
+        """
+        if len(self._table) <= 1:
+            return []
+        if len(self._table) > self.sample_cap:
+            targets = self._sample_targets(now)
+            if targets is not None:
+                self.sampled_rounds += 1
+                return targets
         candidates = [n for n in self.alive(now) if n != self.owner]
         if not candidates:
             return []
+        self.broadcast_rounds += 1
         return self.rng.sample(candidates, min(self.fanout, len(candidates)))
+
+    def _sample_targets(self, now: float) -> Optional[List[str]]:
+        """Draw ``fanout`` distinct fresh members by seeded index sampling.
+
+        Returns ``None`` when the attempt budget runs out before enough
+        live members are found, signalling the caller to fall back to the
+        exact full scan.
+        """
+        names = self._names
+        want = min(self.fanout, len(names) - 1)
+        chosen: List[str] = []
+        seen = set()
+        for _ in range(_SAMPLE_ATTEMPTS_PER_TARGET * want):
+            name = names[self.rng.randrange(len(names))]
+            if name == self.owner or name in seen:
+                continue
+            if (now - self._table[name].last_increase) > self.fail_timeout:
+                continue
+            seen.add(name)
+            chosen.append(name)
+            if len(chosen) == want:
+                return chosen
+        return None

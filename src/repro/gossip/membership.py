@@ -23,7 +23,14 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["MemberInfo", "MembershipView", "MembershipConfig", "MembershipProtocol", "ViewDigest"]
+__all__ = [
+    "MemberInfo",
+    "MembershipView",
+    "MembershipConfig",
+    "MembershipProtocol",
+    "ViewDigest",
+    "DEFAULT_SAMPLE_CAP",
+]
 
 
 @dataclass
@@ -43,6 +50,14 @@ ViewDigest = Tuple[Tuple[str, float, bool], ...]
 _DIGEST_ENTRY_BYTES = 14
 _DIGEST_HEADER_BYTES = 24
 
+#: Default view size above which target choice samples candidates instead
+#: of scanning (and sorting) every member each round.
+DEFAULT_SAMPLE_CAP = 64
+
+#: Sampling attempts per requested target before falling back to the exact
+#: full scan (only relevant when most of the view is stale).
+_SAMPLE_ATTEMPTS_PER_TARGET = 8
+
 
 @dataclass(frozen=True, slots=True)
 class MembershipConfig:
@@ -60,6 +75,9 @@ class MembershipConfig:
     failure_timeout: float = 5.0
     cleanup_timeout: float = 10.0
     gossip_fanout: int = 1
+    #: View size above which target choice uses seeded candidate sampling
+    #: (O(fanout) per round) instead of a full alive scan (O(n log n)).
+    sample_cap: int = DEFAULT_SAMPLE_CAP
 
     def __post_init__(self) -> None:
         if self.gossip_interval <= 0:
@@ -70,6 +88,8 @@ class MembershipConfig:
             raise ValueError("cleanup_timeout must be at least failure_timeout")
         if self.gossip_fanout < 1:
             raise ValueError("gossip_fanout must be at least 1")
+        if self.sample_cap < 1:
+            raise ValueError("sample_cap must be at least 1")
 
 
 class MembershipView:
@@ -80,6 +100,9 @@ class MembershipView:
         self._members: Dict[str, MemberInfo] = {
             owner: MemberInfo(owner, last_heard=now, joined_at=now, is_gossip_server=is_gossip_server)
         }
+        # Insertion-ordered copy of the view's keys, so seeded sampling can
+        # index members in O(1) without materialising a list per round.
+        self._names: List[str] = [owner]
 
     # ------------------------------------------------------------------ #
     # Updates
@@ -94,6 +117,7 @@ class MembershipView:
             self._members[name] = MemberInfo(
                 name, last_heard=now, joined_at=now, is_gossip_server=is_gossip_server
             )
+            self._names.append(name)
             return True
         if now > info.last_heard:
             info.last_heard = now
@@ -116,6 +140,7 @@ class MembershipView:
                 self._members[name] = MemberInfo(
                     name, last_heard=clamped, joined_at=now, is_gossip_server=is_server
                 )
+                self._names.append(name)
                 new_members.append(name)
             else:
                 if clamped > info.last_heard:
@@ -125,8 +150,8 @@ class MembershipView:
 
     def remove(self, name: str) -> None:
         """Drop a member from the view (cleanup of long-suspected members)."""
-        if name != self.owner:
-            self._members.pop(name, None)
+        if name != self.owner and self._members.pop(name, None) is not None:
+            self._names = list(self._members)
 
     def touch_self(self, now: float) -> None:
         """Refresh the owner's own entry (done every gossip round)."""
@@ -161,6 +186,38 @@ class MembershipView:
             for name, info in self._members.items()
             if (now - info.last_heard) <= failure_timeout
         )
+
+    def sample_alive(
+        self,
+        rng: random.Random,
+        count: int,
+        now: float,
+        failure_timeout: float,
+    ) -> Optional[List[str]]:
+        """Draw ``count`` distinct fresh non-owner members by index sampling.
+
+        O(count) per call instead of the O(n log n) :meth:`alive_members`
+        scan.  Returns ``None`` when the attempt budget runs out before
+        enough live members are found (most of the view is stale), telling
+        the caller to fall back to the exact scan.
+        """
+        names = self._names
+        want = min(count, len(names) - 1)
+        if want <= 0:
+            return []
+        chosen: List[str] = []
+        seen = set()
+        for _ in range(_SAMPLE_ATTEMPTS_PER_TARGET * want):
+            name = names[rng.randrange(len(names))]
+            if name == self.owner or name in seen:
+                continue
+            if (now - self._members[name].last_heard) > failure_timeout:
+                continue
+            seen.add(name)
+            chosen.append(name)
+            if len(chosen) == want:
+                return chosen
+        return None
 
     def suspected_members(self, now: float, failure_timeout: float) -> List[str]:
         """Members whose entries have gone stale (suspected failed)."""
@@ -209,12 +266,33 @@ class MembershipProtocol:
         self.rng = rng if rng is not None else random.Random(0)
         #: Members removed after the cleanup timeout (for tracing/tests).
         self.removed: List[str] = []
+        #: Rounds where targets were drawn by seeded sampling (large views).
+        self.sampled_rounds = 0
+        #: Rounds where the whole alive list was scanned (small views, or a
+        #: sampling miss when most of the view is stale).
+        self.broadcast_rounds = 0
 
     # ------------------------------------------------------------------ #
     # Periodic behaviour
     # ------------------------------------------------------------------ #
     def gossip_targets(self, now: float) -> List[str]:
-        """Choose the peers to push the view to in this round."""
+        """Choose the peers to push the view to in this round.
+
+        Small views take the exact path (full alive scan + ``rng.sample``);
+        past ``config.sample_cap`` members that per-peer, per-round scan is
+        what makes gossip cost grow O(n) with the group, so large views draw
+        seeded candidate samples instead — O(fanout) per round — falling
+        back to the scan only when sampling cannot find enough live members.
+        """
+        if len(self.view) <= 1:
+            return []
+        if len(self.view) > self.config.sample_cap:
+            targets = self.view.sample_alive(
+                self.rng, self.config.gossip_fanout, now, self.config.failure_timeout
+            )
+            if targets is not None:
+                self.sampled_rounds += 1
+                return targets
         alive = [
             name
             for name in self.view.alive_members(now, self.config.failure_timeout)
@@ -222,6 +300,7 @@ class MembershipProtocol:
         ]
         if not alive:
             return []
+        self.broadcast_rounds += 1
         count = min(self.config.gossip_fanout, len(alive))
         return self.rng.sample(alive, count)
 

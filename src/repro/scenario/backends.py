@@ -198,6 +198,7 @@ class SimulatedBackend:
             max_sim_time=scenario.max_sim_time,
             max_events=scenario.max_events,
             compute_uniprocessor_time=False,
+            shards=scenario.shards,
         ).makespan
 
     def run(self, scenario: Scenario) -> ScenarioResult:
@@ -229,6 +230,7 @@ class SimulatedBackend:
             compute_uniprocessor_time=(
                 scenario.compute_uniprocessor_time and scenario.uniprocessor_time is None
             ),
+            shards=scenario.shards,
         )
 
         workers = {
@@ -260,6 +262,7 @@ class SimulatedBackend:
             bytes_by_kind=dict(result.bytes_by_kind),
             uniprocessor_time=result.uniprocessor_time,
             workers=workers,
+            engine_counters=dict(result.engine_counters),
             raw=result,
         )
 

@@ -88,6 +88,9 @@ class ScenarioResult:
     uniprocessor_time: Optional[float] = None
     #: Normalised per-worker statistics.
     workers: Dict[str, WorkerSummary] = field(default_factory=dict)
+    #: Engine-level scale counters (simulated backend): ``events_processed``,
+    #: ``peak_heap_len``, ``entity_steps`` and — for sharded runs — ``shards``.
+    engine_counters: Dict[str, int] = field(default_factory=dict)
     #: The backend-native result object (RunResult, CentralRunResult, …).
     raw: object = None
 

@@ -114,6 +114,8 @@ class SimulationEngine:
         self._stop_requested = False
         #: Total events executed (not counting cancelled ones).
         self.events_processed = 0
+        #: High-water mark of the event heap (including cancelled entries).
+        self.peak_heap_len = 0
         #: Number of heap compactions performed (automatic or explicit).
         self.compactions = 0
 
@@ -144,11 +146,41 @@ class SimulationEngine:
         seq = self._sequence
         self._sequence = seq + 1
         heapq.heappush(self._heap, (time, seq, event))
+        if len(self._heap) > self.peak_heap_len:
+            self.peak_heap_len = len(self._heap)
         return EventHandle(self, event)
+
+    def post(self, delay: float, callback: Callable[[], None], *, label: str = "") -> None:
+        """Fire-and-forget :meth:`schedule`: no cancellation handle is built.
+
+        Behaviour is identical to ``schedule`` except that nothing is
+        returned, saving one object allocation per event on paths that never
+        cancel (message delivery, step re-arming).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        time = self._now + delay
+        event = _EventRecord(time, callback, label)
+        seq = self._sequence
+        self._sequence = seq + 1
+        heap = self._heap
+        heapq.heappush(heap, (time, seq, event))
+        if len(heap) > self.peak_heap_len:
+            self.peak_heap_len = len(heap)
 
     def pending_events(self) -> int:
         """Number of events still in the heap (including cancelled ones)."""
         return len(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        """Earliest scheduled event time, or ``None`` for an empty heap.
+
+        Cancelled entries are not skipped — they give a conservative (never
+        late) lower bound, which is what the sharded epoch barrier needs.
+        """
+        if not self._heap:
+            return None
+        return self._heap[0][0]
 
     # ------------------------------------------------------------------ #
     # Execution

@@ -109,13 +109,19 @@ class MetricsCollector:
 
     def charge(self, name: str, category: str, amount: float) -> None:
         """Charge time to a process's account."""
-        self.register(name)
-        self.time[name].add(category, amount)
+        account = self.time.get(name)
+        if account is None:
+            self.register(name)
+            account = self.time[name]
+        account.add(category, amount)
 
     def count(self, name: str, counter: str, increment: int = 1) -> None:
         """Increment a named per-process counter."""
-        self.register(name)
-        self.counters[name][counter] = self.counters[name].get(counter, 0) + increment
+        counters = self.counters.get(name)
+        if counters is None:
+            self.register(name)
+            counters = self.counters[name]
+        counters[counter] = counters.get(counter, 0) + increment
 
     def update_storage(self, name: str, current_bytes: int, redundant_bytes: Optional[int] = None) -> None:
         """Record a process's live completion-state footprint."""

@@ -184,10 +184,10 @@ class Network:
     @staticmethod
     def payload_size(payload: Any) -> int:
         """Byte size of a payload: its ``wire_size()`` if available."""
-        wire_size = getattr(payload, "wire_size", None)
-        if callable(wire_size):
-            return int(wire_size())
-        return _DEFAULT_MESSAGE_BYTES
+        try:
+            return int(payload.wire_size())
+        except AttributeError:
+            return _DEFAULT_MESSAGE_BYTES
 
     def send(
         self, src: str, dst: str, payload: Any, *, size_bytes: Optional[int] = None
@@ -200,7 +200,9 @@ class Network:
         """
         size = size_bytes if size_bytes is not None else self.payload_size(payload)
         now = self.engine.now
-        sender_stats = self.per_entity.setdefault(src, TrafficStats())
+        sender_stats = self.per_entity.get(src)
+        if sender_stats is None:
+            sender_stats = self.per_entity[src] = TrafficStats()
         sender_stats.messages_sent += 1
         sender_stats.bytes_sent += size
         self.stats.messages_sent += 1
@@ -245,7 +247,9 @@ class Network:
             sender_stats.bytes_delivered += size
             target.enqueue(message)
 
-        self.engine.schedule(delay, _deliver, label=f"deliver:{src}->{dst}")
+        # Labels are diagnostic only; a constant avoids formatting a fresh
+        # string for every one of the O(rounds x fanout) deliveries.
+        self.engine.post(delay, _deliver, label="deliver")
         return True
 
     def broadcast(self, src: str, destinations: Iterable[str], payload: Any) -> int:

@@ -1,0 +1,691 @@
+"""Sharded simulation engine: one run partitioned across several engines.
+
+Large runs (1k–10k workers) stress a single event heap and a single Python
+process.  This module partitions the workers of one distributed B&B run
+across ``shards`` independent :class:`~repro.simulation.engine.SimulationEngine`
+instances and keeps them causally consistent with a classic *conservative*
+synchronisation scheme:
+
+* every cross-shard message takes at least the latency model's ``base``
+  delay (jitter only ever lengthens it), so ``base`` is a safe lookahead
+  ``L``;
+* each epoch computes the global minimum next-event time ``m`` and runs every
+  shard up to the barrier ``T = m + L``; any message sent during the epoch is
+  delivered at or after ``T``, i.e. never into a shard's past;
+* cross-shard messages are exchanged at the barrier and injected in a single
+  deterministic order (sorted by delivery time, send time, sender, receiver,
+  shard and sequence number), so a sharded run is exactly reproducible.
+
+Two execution modes share that epoch protocol:
+
+* **in-process** (default on single-core hosts): the shards are plain objects
+  stepped round-robin by the coordinating loop — no serialisation, no
+  processes, but each shard keeps its own heap, network and completion-trie
+  arena;
+* **processes**: each shard runs in a forked OS process; cross-shard payloads
+  are serialised with the :mod:`repro.wire` codecs and routed through the
+  parent at each barrier, and per-shard results are merged at the end.
+
+Determinism across modes and shard counts
+-----------------------------------------
+Every shard builds its own :class:`~repro.simulation.rng.RngRegistry` from
+the run seed, so a worker's named random stream is identical no matter which
+shard (or how many shards) it lands on.  With the paper-default network
+(lossless, jitter-free) the network streams consume no randomness at all and
+a sharded run solves the same problem with the same optimum and the same
+termination outcome as the single-engine run; loss and jitter draw from
+per-shard network streams and therefore sample different (but equally valid)
+executions.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..bnb.basic_tree import BasicTree
+from ..bnb.tree_problem import TreeReplayProblem
+from ..core.arena import TrieArena
+from .engine import SimulationEngine
+from .entity import QueuedMessage
+from .failures import CrashEvent, FailureInjector
+from .metrics import MetricsCollector
+from .network import Network, TrafficStats
+from .rng import RngRegistry
+
+__all__ = [
+    "ShardNetwork",
+    "ShardedBnBSimulation",
+    "run_sharded_tree_simulation",
+    "shard_members",
+]
+
+#: A message crossing shard boundaries, as staged in a shard's outbox:
+#: ``(delivered_at, sent_at, src, dst, payload, size_bytes)`` where
+#: ``payload`` is the message object in-process and ``repro.wire`` bytes in
+#: process mode.
+RemoteMessage = Tuple[float, float, str, str, Any, int]
+
+
+def shard_members(names: Sequence[str], shards: int) -> List[List[str]]:
+    """Partition worker names round-robin across ``shards`` shards.
+
+    Round-robin keeps the shards balanced for any worker count and pins
+    worker 0 (the one seeded with the root subproblem) to shard 0.
+    """
+    return [list(names[i::shards]) for i in range(shards)]
+
+
+class ShardNetwork(Network):
+    """A :class:`Network` that stages messages to non-local workers.
+
+    Local destinations behave exactly as in the base class.  A destination
+    that belongs to another shard gets the same sender-side treatment
+    (traffic accounting, kind classification, partitions, loss, latency
+    sampling) but instead of scheduling a local delivery the message is
+    appended to :attr:`outbox` for the epoch coordinator to route.  Liveness
+    of a remote destination is checked on the *receiving* shard at delivery
+    time — matching the paper's model, where a sender cannot observe a remote
+    crash.
+    """
+
+    def __init__(self, *args: Any, members: Iterable[str] = (), **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        #: Every worker name in the whole run (local and remote).
+        self.members: Set[str] = set(members)
+        #: Messages bound for other shards, drained at each epoch barrier.
+        self.outbox: List[RemoteMessage] = []
+
+    def send(
+        self, src: str, dst: str, payload: Any, *, size_bytes: Optional[int] = None
+    ) -> bool:
+        if dst in self._entities or dst not in self.members:
+            return super().send(src, dst, payload, size_bytes=size_bytes)
+
+        # Remote destination: replicate the base class's sender-side
+        # bookkeeping, then stage the message for the coordinator.
+        size = size_bytes if size_bytes is not None else self.payload_size(payload)
+        now = self.engine.now
+        sender_stats = self.per_entity.setdefault(src, TrafficStats())
+        sender_stats.messages_sent += 1
+        sender_stats.bytes_sent += size
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += size
+        if self.classify is not None:
+            kind = self.classify(payload)
+            self.kind_bytes[kind] = self.kind_bytes.get(kind, 0) + size
+            self.kind_messages[kind] = self.kind_messages.get(kind, 0) + 1
+        for partition in self.partitions:
+            if partition.blocks(now, src, dst):
+                sender_stats.messages_blocked += 1
+                self.stats.messages_blocked += 1
+                return False
+        if self.loss_probability > 0 and self.rng.random() < self.loss_probability:
+            sender_stats.messages_lost += 1
+            self.stats.messages_lost += 1
+            return False
+        delay = self.latency.latency(size, self.rng)
+        self.outbox.append((now + delay, now, src, dst, payload, size))
+        return True
+
+    def drain_outbox(self) -> List[RemoteMessage]:
+        """Remove and return every staged cross-shard message."""
+        drained = self.outbox
+        self.outbox = []
+        return drained
+
+    def inject_remote(
+        self, delivered_at: float, sent_at: float, src: str, dst: str, payload: Any, size: int
+    ) -> None:
+        """Schedule the local delivery of a message from another shard."""
+        message = QueuedMessage(
+            sender=src,
+            payload=payload,
+            sent_at=sent_at,
+            delivered_at=delivered_at,
+            size_bytes=size,
+        )
+
+        def _deliver() -> None:
+            target = self._entities.get(dst)
+            if target is None or not target.alive:
+                self.stats.messages_to_dead += 1
+                return
+            self.stats.messages_delivered += 1
+            self.stats.bytes_delivered += size
+            target.enqueue(message)
+
+        self.engine.schedule_at(delivered_at, _deliver, label=f"deliver:{src}->{dst}")
+
+
+def _merge_traffic(into: TrafficStats, other: TrafficStats) -> None:
+    into.messages_sent += other.messages_sent
+    into.messages_delivered += other.messages_delivered
+    into.messages_lost += other.messages_lost
+    into.messages_blocked += other.messages_blocked
+    into.messages_to_dead += other.messages_to_dead
+    into.bytes_sent += other.bytes_sent
+    into.bytes_delivered += other.bytes_delivered
+
+
+def _merge_kind_counts(into: Dict[str, int], other: Dict[str, int]) -> None:
+    for kind, value in other.items():
+        into[kind] = into.get(kind, 0) + value
+
+
+def _merge_metrics(into: MetricsCollector, other: MetricsCollector) -> None:
+    # Worker names are disjoint across shards, so merging is a dict union.
+    into.time.update(other.time)
+    into.storage.update(other.storage)
+    into.counters.update(other.counters)
+
+
+class _ShardWorkerResult:
+    """Minimal stand-in for a :class:`WorkerEntity` after a process-mode run.
+
+    Carries exactly what result assembly reads: the finalized stats and the
+    set of expanded codes (for the redundant-work computation).
+    """
+
+    __slots__ = ("name", "stats", "_expanded_codes")
+
+    def __init__(self, name: str, stats: Any, expanded_codes: Set[Any]) -> None:
+        self.name = name
+        self.stats = stats
+        self._expanded_codes = expanded_codes
+
+    def finalize_stats(self) -> Any:
+        return self.stats
+
+
+class _Shard:
+    """One in-process shard: engine + shard network + local workers."""
+
+    def __init__(
+        self,
+        index: int,
+        local_names: Sequence[str],
+        all_names: Sequence[str],
+        problem: Any,
+        config: Any,
+        network_config: Any,
+        failures: Sequence[CrashEvent],
+        seed: int,
+        expected_node_cost: float,
+        use_arena: bool,
+        metrics: Optional[MetricsCollector] = None,
+    ) -> None:
+        from ..distributed.messages import MessageKinds
+        from ..distributed.worker import WorkerEntity
+
+        self.index = index
+        # Every shard derives its streams from the same registry, so a
+        # worker's named stream does not depend on shard placement.
+        rng = RngRegistry(seed)
+        self.engine = SimulationEngine()
+        self.net = ShardNetwork(
+            self.engine,
+            latency=network_config.latency,
+            loss_probability=network_config.loss_probability,
+            partitions=network_config.partitions,
+            rng=rng.stream(f"network:shard:{index}"),
+            members=all_names,
+        )
+        self.net.classify = MessageKinds.of
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        arena = TrieArena() if use_arena else None
+        root_sub = problem.root_subproblem()
+        root_owner = all_names[0]
+        self.workers = []
+        for name in local_names:
+            worker = WorkerEntity(
+                name,
+                problem,
+                config,
+                list(all_names),
+                rng=rng.stream(f"worker:{name}"),
+                metrics=self.metrics,
+                trace=None,
+                initial_work=[root_sub] if name == root_owner else [],
+                expected_node_cost=expected_node_cost,
+                arena=arena,
+            )
+            self.net.register(worker)
+            self.workers.append(worker)
+        local = set(local_names)
+        self.injector = FailureInjector([f for f in failures if f.entity in local])
+        self.injector.install(self.engine, self.net)
+
+    def start(self) -> None:
+        for worker in self.workers:
+            worker.on_start()
+
+    def local_done(self) -> bool:
+        return all((not w.alive) or w.terminated for w in self.workers)
+
+
+class ShardedBnBSimulation:
+    """Coordinates one distributed B&B run split across simulation shards."""
+
+    def __init__(
+        self,
+        tree: BasicTree,
+        n_workers: int,
+        *,
+        shards: int,
+        processes: Optional[bool] = None,
+        config: Any = None,
+        network: Any = None,
+        failures: Iterable[CrashEvent] = (),
+        seed: int = 0,
+        granularity: float = 1.0,
+        prune: bool = True,
+        max_sim_time: Optional[float] = None,
+        max_events: Optional[int] = None,
+        uniprocessor_time: Optional[float] = None,
+        use_arena: bool = True,
+    ) -> None:
+        from ..distributed.config import AlgorithmConfig
+        from ..distributed.runner import NetworkConfig, worker_names
+
+        if shards < 1:
+            raise ValueError(f"shards must be at least 1, got {shards}")
+        if shards > n_workers:
+            raise ValueError(
+                f"cannot split {n_workers} worker(s) across {shards} shards: "
+                "each shard needs at least one worker (reduce --shards or raise workers)"
+            )
+        self.tree = tree
+        self.n_workers = n_workers
+        self.shards = shards
+        self.config = config if config is not None else AlgorithmConfig.paper_default()
+        self.network_config = network if network is not None else NetworkConfig.paper_default()
+        if shards > 1 and self.network_config.latency.base <= 0.0:
+            raise ValueError(
+                "sharded runs need a positive base network latency: it is the "
+                "conservative lookahead that keeps cross-shard delivery causal"
+            )
+        self.failures = list(failures)
+        self.seed = seed
+        self.granularity = granularity
+        self.prune = prune
+        self.max_sim_time = max_sim_time
+        self.max_events = max_events
+        self.uniprocessor_time = uniprocessor_time
+        self.use_arena = use_arena
+        if processes is None:
+            # Processes only pay off with real parallel hardware; the forked
+            # children otherwise just add serialisation overhead.
+            cpus = os.cpu_count() or 1
+            processes = cpus > 1 and shards > 1
+        self.processes = bool(processes)
+        self.names = worker_names(n_workers)
+        self.partition = shard_members(self.names, shards)
+
+    # ------------------------------------------------------------------ #
+    # Epoch coordination (mode-independent pieces)
+    # ------------------------------------------------------------------ #
+    @property
+    def lookahead(self) -> float:
+        """The conservative lookahead: the minimum cross-shard latency."""
+        return self.network_config.latency.base
+
+    def run(self):
+        """Run the sharded simulation and return a merged ``RunResult``."""
+        problem = TreeReplayProblem(self.tree, granularity=self.granularity, prune=self.prune)
+        if self.processes and self.shards > 1 and self._fork_available():
+            return self._run_processes(problem)
+        return self._run_inprocess(problem)
+
+    @staticmethod
+    def _fork_available() -> bool:
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    # ------------------------------------------------------------------ #
+    # In-process mode
+    # ------------------------------------------------------------------ #
+    def _run_inprocess(self, problem: TreeReplayProblem):
+        from ..distributed.runner import assemble_run_result
+
+        metrics = MetricsCollector()
+        shards = [
+            _Shard(
+                i,
+                self.partition[i],
+                self.names,
+                problem,
+                self.config,
+                self.network_config,
+                self.failures,
+                self.seed,
+                self.tree.mean_node_time() * self.granularity,
+                self.use_arena,
+                metrics=metrics,
+            )
+            for i in range(self.shards)
+        ]
+        name_to_shard = {
+            name: i for i, members in enumerate(self.partition) for name in members
+        }
+        for shard in shards:
+            shard.start()
+
+        lookahead = self.lookahead
+        events_total = 0
+        while True:
+            staged: List[Tuple[float, float, str, str, Any, int, int, int]] = []
+            for shard in shards:
+                for seq, msg in enumerate(shard.net.drain_outbox()):
+                    staged.append(msg[:4] + (shard.index, seq) + msg[4:])
+            # (delivered_at, sent_at, src, dst, shard, seq, payload, size):
+            # the first six fields sort deterministically without ever
+            # comparing payload objects.
+            staged.sort(key=lambda item: item[:6])
+            for delivered_at, sent_at, src, dst, _shard, _seq, payload, size in staged:
+                shards[name_to_shard[dst]].net.inject_remote(
+                    delivered_at, sent_at, src, dst, payload, size
+                )
+
+            if all(shard.local_done() for shard in shards):
+                break
+            times = [t for t in (s.engine.peek_time() for s in shards) if t is not None]
+            if not times:
+                break
+            horizon = min(times)
+            if self.max_sim_time is not None and horizon > self.max_sim_time:
+                break
+            barrier = horizon + lookahead
+            if self.max_sim_time is not None:
+                barrier = min(barrier, self.max_sim_time)
+            for shard in shards:
+                budget = None
+                if self.max_events is not None:
+                    budget = self.max_events - events_total
+                    if budget <= 0:
+                        break
+                before = shard.engine.events_processed
+                shard.engine.run(until=barrier, max_events=budget)
+                events_total += shard.engine.events_processed - before
+            if self.max_events is not None and events_total >= self.max_events:
+                break
+
+        end_time = max(shard.engine.now for shard in shards)
+        all_workers = [w for shard in shards for w in shard.workers]
+        net_stats = TrafficStats()
+        kind_bytes: Dict[str, int] = {}
+        peak_heap = 0
+        for shard in shards:
+            _merge_traffic(net_stats, shard.net.stats)
+            _merge_kind_counts(kind_bytes, shard.net.kind_bytes)
+            peak_heap = max(peak_heap, shard.engine.peak_heap_len)
+        return assemble_run_result(
+            all_workers,
+            n_workers=self.n_workers,
+            end_time=end_time,
+            problem=problem,
+            reference_optimum=self.tree.optimal_value(),
+            uniprocessor_time=self.uniprocessor_time,
+            metrics=metrics,
+            network_stats=net_stats,
+            kind_bytes=kind_bytes,
+            trace=None,
+            engine_counters={
+                "events_processed": events_total,
+                "peak_heap_len": peak_heap,
+                "shards": self.shards,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # Process mode
+    # ------------------------------------------------------------------ #
+    def _run_processes(self, problem: TreeReplayProblem):
+        from ..distributed.runner import assemble_run_result
+
+        ctx = multiprocessing.get_context("fork")
+        conns = []
+        procs = []
+        for i in range(self.shards):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_process_main,
+                args=(
+                    child_conn,
+                    i,
+                    self.partition[i],
+                    self.names,
+                    self.tree,
+                    self.granularity,
+                    self.prune,
+                    self.config,
+                    self.network_config,
+                    self.failures,
+                    self.seed,
+                    self.use_arena,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(proc)
+
+        name_to_shard = {
+            name: i for i, members in enumerate(self.partition) for name in members
+        }
+        try:
+            reports = [conn.recv() for conn in conns]
+            lookahead = self.lookahead
+            events_total = 0
+            while True:
+                staged = []
+                for i, report in enumerate(reports):
+                    for seq, msg in enumerate(report["outbox"]):
+                        staged.append(msg[:4] + (i, seq) + msg[4:])
+                staged.sort(key=lambda item: item[:6])
+                inbound: List[List[Tuple]] = [[] for _ in range(self.shards)]
+                for delivered_at, sent_at, src, dst, _shard, _seq, blob, size in staged:
+                    inbound[name_to_shard[dst]].append(
+                        (delivered_at, sent_at, src, dst, blob, size)
+                    )
+                events_total = sum(report["events"] for report in reports)
+
+                done = all(report["local_done"] for report in reports)
+                # The horizon must cover the messages about to be injected:
+                # they may deliver before every shard's next scheduled event,
+                # and their follow-up traffic is only safe within their own
+                # lookahead window.
+                times = [report["peek"] for report in reports if report["peek"] is not None]
+                times.extend(item[0] for item in staged)
+                out_of_time = False
+                if not done and times:
+                    horizon = min(times)
+                    out_of_time = self.max_sim_time is not None and horizon > self.max_sim_time
+                if done or not times or out_of_time or (
+                    self.max_events is not None and events_total >= self.max_events
+                ):
+                    for conn in conns:
+                        conn.send(("finish", None, None))
+                    break
+                barrier = horizon + lookahead
+                if self.max_sim_time is not None:
+                    barrier = min(barrier, self.max_sim_time)
+                budget = None
+                if self.max_events is not None:
+                    budget = self.max_events - events_total
+                for i, conn in enumerate(conns):
+                    conn.send(("epoch", barrier, inbound[i], budget))
+                reports = [conn.recv() for conn in conns]
+
+            results = [conn.recv() for conn in conns]
+        finally:
+            for conn in conns:
+                conn.close()
+            for proc in procs:
+                proc.join(timeout=30)
+                if proc.is_alive():  # pragma: no cover - defensive cleanup
+                    proc.terminate()
+
+        metrics = MetricsCollector()
+        net_stats = TrafficStats()
+        kind_bytes: Dict[str, int] = {}
+        all_workers: List[_ShardWorkerResult] = []
+        end_time = 0.0
+        peak_heap = 0
+        events_final = 0
+        for result in results:
+            _merge_metrics(metrics, result["metrics"])
+            _merge_traffic(net_stats, result["net_stats"])
+            _merge_kind_counts(kind_bytes, result["kind_bytes"])
+            end_time = max(end_time, result["now"])
+            peak_heap = max(peak_heap, result["peak_heap_len"])
+            events_final += result["events_processed"]
+            for name, stats, expanded in result["workers"]:
+                all_workers.append(_ShardWorkerResult(name, stats, expanded))
+        return assemble_run_result(
+            all_workers,
+            n_workers=self.n_workers,
+            end_time=end_time,
+            problem=problem,
+            reference_optimum=self.tree.optimal_value(),
+            uniprocessor_time=self.uniprocessor_time,
+            metrics=metrics,
+            network_stats=net_stats,
+            kind_bytes=kind_bytes,
+            trace=None,
+            engine_counters={
+                "events_processed": events_final,
+                "peak_heap_len": peak_heap,
+                "shards": self.shards,
+            },
+        )
+
+
+def _shard_process_main(
+    conn,
+    index: int,
+    local_names: Sequence[str],
+    all_names: Sequence[str],
+    tree: BasicTree,
+    granularity: float,
+    prune: bool,
+    config: Any,
+    network_config: Any,
+    failures: Sequence[CrashEvent],
+    seed: int,
+    use_arena: bool,
+) -> None:
+    """Entry point of one forked shard process.
+
+    The child steps its shard between epoch barriers dictated by the parent;
+    cross-shard payloads travel as :mod:`repro.wire` frames, everything else
+    (commands, final statistics) as pickles over the pipe.
+    """
+    from .. import wire
+
+    problem = TreeReplayProblem(tree, granularity=granularity, prune=prune)
+    shard = _Shard(
+        index,
+        local_names,
+        all_names,
+        problem,
+        config,
+        network_config,
+        failures,
+        seed,
+        tree.mean_node_time() * granularity,
+        use_arena,
+    )
+    shard.start()
+
+    def report() -> None:
+        outbox = [
+            msg[:4] + (wire.encode(msg[4]), msg[5]) for msg in shard.net.drain_outbox()
+        ]
+        conn.send(
+            {
+                "peek": shard.engine.peek_time(),
+                "outbox": outbox,
+                "local_done": shard.local_done(),
+                "events": shard.engine.events_processed,
+            }
+        )
+
+    report()
+    while True:
+        message = conn.recv()
+        command, barrier, inbound = message[0], message[1], message[2]
+        if command == "finish":
+            break
+        budget = message[3] if len(message) > 3 else None
+        for delivered_at, sent_at, src, dst, blob, size in inbound:
+            shard.net.inject_remote(
+                delivered_at, sent_at, src, dst, wire.decode(blob), size
+            )
+        if budget is None or budget > 0:
+            shard.engine.run(until=barrier, max_events=budget)
+        report()
+
+    workers = [
+        (w.name, w.finalize_stats(), w._expanded_codes) for w in shard.workers
+    ]
+    conn.send(
+        {
+            "workers": workers,
+            "metrics": shard.metrics,
+            "net_stats": shard.net.stats,
+            "kind_bytes": shard.net.kind_bytes,
+            "now": shard.engine.now,
+            "peak_heap_len": shard.engine.peak_heap_len,
+            "events_processed": shard.engine.events_processed,
+        }
+    )
+    conn.close()
+
+
+def run_sharded_tree_simulation(
+    tree: BasicTree,
+    n_workers: int,
+    *,
+    shards: int,
+    processes: Optional[bool] = None,
+    config: Any = None,
+    network: Any = None,
+    failures: Iterable[CrashEvent] = (),
+    seed: int = 0,
+    granularity: float = 1.0,
+    prune: bool = True,
+    enable_trace: bool = False,
+    max_sim_time: Optional[float] = None,
+    max_events: Optional[int] = None,
+    uniprocessor_time: Optional[float] = None,
+    use_arena: bool = True,
+):
+    """Run one tree workload on the sharded engine and merge the results.
+
+    The counterpart of
+    :func:`repro.distributed.runner.run_tree_simulation` for ``shards > 1``
+    (that function delegates here).  Tracing is a single-engine feature: the
+    timeline would interleave incomparably across shards, so ``enable_trace``
+    is rejected.
+    """
+    if enable_trace:
+        raise ValueError("tracing is not supported with shards > 1")
+    sim = ShardedBnBSimulation(
+        tree,
+        n_workers,
+        shards=shards,
+        processes=processes,
+        config=config,
+        network=network,
+        failures=failures,
+        seed=seed,
+        granularity=granularity,
+        prune=prune,
+        max_sim_time=max_sim_time,
+        max_events=max_events,
+        uniprocessor_time=uniprocessor_time,
+        use_arena=use_arena,
+    )
+    return sim.run()

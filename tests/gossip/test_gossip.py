@@ -146,6 +146,33 @@ class TestMembershipProtocol:
         targets = proto.gossip_targets(now=1.0)
         assert len(targets) == 2
         assert "me" not in targets
+        assert proto.broadcast_rounds == 1 and proto.sampled_rounds == 0
+
+    def test_gossip_targets_sample_large_views(self):
+        config = MembershipConfig(gossip_fanout=2, sample_cap=16)
+        proto = MembershipProtocol("me", config, rng=random.Random(0))
+        for i in range(100):
+            proto.view.heard_from(f"m{i}", 0.0)
+        targets = proto.gossip_targets(now=1.0)
+        assert len(targets) == 2 and "me" not in targets
+        assert len(set(targets)) == 2
+        assert proto.sampled_rounds == 1 and proto.broadcast_rounds == 0
+        # Only fresh members are ever sampled.
+        proto2 = MembershipProtocol(
+            "me", MembershipConfig(gossip_fanout=2, sample_cap=8, failure_timeout=1.0,
+                                   cleanup_timeout=2.0),
+            rng=random.Random(1),
+        )
+        for i in range(50):
+            proto2.view.heard_from(f"m{i}", 0.0)
+        proto2.view.heard_from("m1", 5.0)
+        proto2.view.heard_from("m2", 5.0)
+        for _ in range(20):
+            assert set(proto2.gossip_targets(now=5.5)) <= {"m1", "m2"}
+
+    def test_sample_cap_validation(self):
+        with pytest.raises(ValueError):
+            MembershipConfig(sample_cap=0)
 
     def test_cleanup_removes_long_suspected(self):
         config = MembershipConfig(failure_timeout=2.0, cleanup_timeout=4.0)
@@ -257,6 +284,58 @@ class TestFailureDetector:
         detector.merge((("a", 1), ("b", 1), ("c", 1)), now=0.0)
         targets = detector.choose_targets(now=0.5)
         assert len(targets) == 2 and "me" not in targets
+        # A small table takes the exact full-scan ("broadcast") path.
+        assert detector.broadcast_rounds == 1
+        assert detector.sampled_rounds == 0
+
+    def test_choose_targets_samples_large_tables(self):
+        detector = GossipFailureDetector(
+            "me", fanout=2, rng=random.Random(0), sample_cap=16
+        )
+        detector.merge(tuple((f"m{i}", 1) for i in range(100)), now=0.0)
+        targets = detector.choose_targets(now=0.5)
+        assert len(targets) == 2 and "me" not in targets
+        assert len(set(targets)) == 2
+        assert detector.sampled_rounds == 1
+        assert detector.broadcast_rounds == 0
+
+    def test_sampling_never_returns_suspected_members(self):
+        detector = GossipFailureDetector(
+            "me", fanout=3, rng=random.Random(1), sample_cap=8,
+            fail_timeout=1.0, cleanup_timeout=2.0,
+        )
+        detector.merge(tuple((f"m{i}", 1) for i in range(50)), now=0.0)
+        # Refresh only three members; everyone else goes stale.
+        detector.merge((("m1", 2), ("m2", 2), ("m3", 2)), now=5.0)
+        for _ in range(20):
+            targets = detector.choose_targets(now=5.5)
+            assert set(targets) <= {"m1", "m2", "m3"}
+
+    def test_sampling_falls_back_when_everyone_is_stale(self):
+        detector = GossipFailureDetector(
+            "me", fanout=1, rng=random.Random(2), sample_cap=8,
+            fail_timeout=1.0, cleanup_timeout=2.0,
+        )
+        detector.merge(tuple((f"m{i}", 1) for i in range(50)), now=0.0)
+        assert detector.choose_targets(now=100.0) == []
+        # Neither counter fires on an empty round.
+        assert detector.sampled_rounds == 0
+        assert detector.broadcast_rounds == 0
+
+    def test_cleanup_keeps_sampling_index_in_sync(self):
+        detector = GossipFailureDetector(
+            "me", fanout=1, rng=random.Random(3), sample_cap=4,
+            fail_timeout=1.0, cleanup_timeout=2.0,
+        )
+        detector.merge(tuple((f"m{i}", 1) for i in range(10)), now=0.0)
+        detector.merge((("m0", 2),), now=5.0)
+        detector.cleanup(now=5.0)
+        assert detector.members() == ["m0", "me"]
+        assert detector.choose_targets(now=5.5) == ["m0"]
+
+    def test_sample_cap_validation(self):
+        with pytest.raises(ValueError):
+            GossipFailureDetector("me", sample_cap=0)
 
     def test_digest_wire_size(self):
         detector = GossipFailureDetector("me")

@@ -1,0 +1,212 @@
+"""Tests for the sharded simulation engine (:mod:`repro.simulation.sharding`).
+
+The sharded engine must be a *transparent* scale-out of the single-engine
+runner: same optimum, same termination, deterministic for a fixed seed, and
+bit-identical between its in-process and OS-process execution modes.  The
+single-engine and sharded runs interleave events differently (the epoch
+barrier changes tie-breaking), so cross-engine parity is asserted on the
+solution and termination, while in-process-vs-process parity — the same
+partition, rng streams and event order — is asserted bit-for-bit.
+"""
+
+import pytest
+
+from repro.bnb.pool import SelectionRule
+from repro.bnb.random_tree import RandomTreeSpec, generate_random_tree
+from repro.distributed.config import AlgorithmConfig
+from repro.distributed.runner import NetworkConfig, run_tree_simulation, worker_names
+from repro.simulation.failures import CrashEvent
+from repro.simulation.network import LatencyModel
+from repro.simulation.sharding import (
+    ShardedBnBSimulation,
+    run_sharded_tree_simulation,
+    shard_members,
+)
+
+
+def small_tree(seed=3, nodes=151, mean_time=0.05):
+    return generate_random_tree(
+        RandomTreeSpec(nodes=nodes, mean_node_time=mean_time, seed=seed, name=f"t{seed}")
+    )
+
+
+def fast_config(**overrides):
+    base = dict(selection_rule=SelectionRule.DEPTH_FIRST)
+    base.update(overrides)
+    return AlgorithmConfig(**base)
+
+
+def run(tree, n_workers, **kwargs):
+    kwargs.setdefault("config", fast_config())
+    kwargs.setdefault("seed", 1)
+    kwargs.setdefault("prune", False)
+    kwargs.setdefault("compute_uniprocessor_time", False)
+    return run_tree_simulation(tree, n_workers, **kwargs)
+
+
+class TestShardMembers:
+    def test_round_robin_partition(self):
+        names = worker_names(7)
+        parts = shard_members(names, 3)
+        assert parts == [
+            ["worker-00", "worker-03", "worker-06"],
+            ["worker-01", "worker-04"],
+            ["worker-02", "worker-05"],
+        ]
+        # Worker 0 (the one seeded with the root) lands in shard 0.
+        assert parts[0][0] == names[0]
+
+    def test_every_worker_in_exactly_one_shard(self):
+        names = worker_names(100)
+        parts = shard_members(names, 8)
+        flat = [n for part in parts for n in part]
+        assert sorted(flat) == sorted(names)
+        assert len(flat) == len(set(flat))
+
+
+class TestValidation:
+    def test_more_shards_than_workers_rejected(self):
+        tree = small_tree()
+        with pytest.raises(ValueError, match="cannot split"):
+            run(tree, 4, shards=9)
+
+    def test_zero_shards_rejected(self):
+        tree = small_tree()
+        with pytest.raises(ValueError, match="at least 1"):
+            run(tree, 4, shards=0)
+
+    def test_tracing_rejected_with_shards(self):
+        tree = small_tree()
+        with pytest.raises(ValueError, match="tracing"):
+            run(tree, 4, shards=2, enable_trace=True)
+
+    def test_zero_base_latency_rejected(self):
+        # The base latency is the conservative lookahead; without it the
+        # epoch barrier cannot guarantee causal cross-shard delivery.
+        tree = small_tree()
+        network = NetworkConfig(latency=LatencyModel(base=0.0, per_byte=0.0))
+        with pytest.raises(ValueError, match="lookahead"):
+            run(tree, 4, shards=2, network=network)
+
+    def test_single_shard_allows_zero_latency(self):
+        tree = small_tree(nodes=51)
+        network = NetworkConfig(latency=LatencyModel(base=0.0, per_byte=0.0))
+        result = run(tree, 2, shards=1, network=network)
+        assert result.solved_correctly
+
+
+class TestShardedParity:
+    @pytest.mark.parametrize("shards", [2, 3, 4])
+    def test_optimum_and_termination_match_single_engine(self, shards):
+        tree = small_tree(seed=11)
+        single = run(tree, 8)
+        sharded = run(tree, 8, shards=shards, shard_processes=False)
+        assert sharded.solved_correctly
+        assert sharded.all_terminated
+        assert sharded.best_value == pytest.approx(single.best_value)
+        assert sharded.best_value == pytest.approx(tree.optimal_value())
+        assert len(sharded.workers) == 8
+
+    def test_shard_count_parity_and_determinism(self):
+        # Different shard counts co-locate simultaneous events differently,
+        # so tie-breaking (and hence the exact makespan) may drift — but the
+        # solution and termination must not, and a fixed (seed, shards) pair
+        # must reproduce bit-identically.
+        tree = small_tree(seed=5)
+        r2 = run(tree, 12, shards=2, shard_processes=False)
+        r4 = run(tree, 12, shards=4, shard_processes=False)
+        assert r2.best_value == pytest.approx(r4.best_value)
+        assert r2.best_value == pytest.approx(tree.optimal_value())
+        assert r2.all_terminated and r4.all_terminated
+        again = run(tree, 12, shards=4, shard_processes=False)
+        assert again.makespan == r4.makespan
+        assert again.total_nodes_expanded == r4.total_nodes_expanded
+        assert again.engine_counters["events_processed"] == (
+            r4.engine_counters["events_processed"]
+        )
+
+    def test_process_mode_bit_identical_to_inprocess(self):
+        tree = small_tree(seed=7, nodes=101)
+        inproc = run(tree, 6, shards=2, shard_processes=False)
+        procs = run(tree, 6, shards=2, shard_processes=True)
+        assert procs.makespan == inproc.makespan
+        assert procs.total_nodes_expanded == inproc.total_nodes_expanded
+        assert procs.total_bytes_sent == inproc.total_bytes_sent
+        assert procs.engine_counters["events_processed"] == (
+            inproc.engine_counters["events_processed"]
+        )
+        assert procs.solved_correctly and procs.all_terminated
+
+    def test_parity_at_100_workers(self):
+        tree = small_tree(seed=13, nodes=301)
+        single = run(tree, 100)
+        sharded = run(tree, 100, shards=8, shard_processes=False)
+        assert sharded.solved_correctly
+        assert sharded.all_terminated
+        assert sharded.best_value == pytest.approx(single.best_value)
+
+    def test_crash_schedule_parity(self):
+        tree = small_tree(seed=17, nodes=201)
+        failures = [CrashEvent(time=0.05, entity="worker-01"),
+                    CrashEvent(time=0.10, entity="worker-03")]
+        single = run(tree, 6, failures=failures)
+        sharded = run(tree, 6, shards=3, shard_processes=False, failures=failures)
+        assert sorted(sharded.crashed_workers) == sorted(single.crashed_workers)
+        assert sharded.solved_correctly
+        assert sharded.all_terminated
+
+
+class TestEngineCounters:
+    def test_counters_exposed_single_shard(self):
+        tree = small_tree(nodes=51)
+        result = run(tree, 3)
+        counters = result.engine_counters
+        assert counters["events_processed"] > 0
+        assert counters["peak_heap_len"] > 0
+        assert counters["entity_steps"] > 0
+
+    def test_counters_aggregated_across_shards(self):
+        tree = small_tree(nodes=51)
+        result = run(tree, 4, shards=2, shard_processes=False)
+        counters = result.engine_counters
+        assert counters["shards"] == 2
+        assert counters["events_processed"] > 0
+        assert counters["peak_heap_len"] > 0
+        assert counters["entity_steps"] > 0
+
+
+class TestDirectApi:
+    def test_run_sharded_tree_simulation_rejects_trace(self):
+        tree = small_tree(nodes=51)
+        with pytest.raises(ValueError, match="tracing"):
+            run_sharded_tree_simulation(tree, 4, shards=2, enable_trace=True)
+
+    def test_sharded_simulation_shard_range(self):
+        tree = small_tree(nodes=51)
+        with pytest.raises(ValueError):
+            ShardedBnBSimulation(tree, 4, shards=5)
+        with pytest.raises(ValueError):
+            ShardedBnBSimulation(tree, 4, shards=0)
+
+
+class TestScenarioIntegration:
+    def test_scenario_shards_field_validated(self):
+        from repro.scenario.spec import Scenario, WorkloadSpec
+
+        with pytest.raises(ValueError, match="cannot split"):
+            Scenario(name="x", workload=WorkloadSpec(kind="random"), n_workers=4, shards=9)
+        with pytest.raises(ValueError, match="tracing"):
+            Scenario(
+                name="x",
+                workload=WorkloadSpec(kind="random"),
+                n_workers=4,
+                shards=2,
+                enable_trace=True,
+            )
+
+    def test_cli_rejects_excess_shards_with_exit_2(self, capsys):
+        from repro.scenario.cli import main
+
+        code = main(["run", "quickstart", "--workers", "4", "--shards", "9"])
+        assert code == 2
+        assert "cannot split" in capsys.readouterr().out
