@@ -137,14 +137,25 @@ def _measure_subprocess(engine: str, workers: int, workload: str) -> dict:
 
 
 def _child(engine: str, workers: int, workload: str) -> None:
+    from repro.obs import MetricsRegistry, RssSampler
+
     if workload == "figure3":
         tree = figure3_tree(scale=1.0, seed=7)
     else:
         tree = tier_tree(workers)
+    registry = MetricsRegistry()
+    gauge = registry.gauge("process_rss_mb", engine=engine)
     start = time.perf_counter()
-    result = run_engine(tree, workers, use_arena=(engine == "arena"))
+    # Peak-over-time via the telemetry registry: a sampler thread reads
+    # /proc/self/statm during the run, so the reported peak reflects this
+    # engine's working set, not whatever the interpreter touched before or
+    # after.  ``ru_maxrss`` stays as the fallback when /proc is unreadable.
+    with RssSampler(gauge) as sampler:
+        result = run_engine(tree, workers, use_arena=(engine == "arena"))
     wall = time.perf_counter() - start
-    rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    peak_mb = sampler.peak_mb
+    if not peak_mb:
+        peak_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
     print(
         json.dumps(
             {
@@ -152,7 +163,8 @@ def _child(engine: str, workers: int, workload: str) -> None:
                 "workers": workers,
                 "tree_nodes": len(tree),
                 "wall_s": round(wall, 2),
-                "peak_rss_mb": round(rss_kib / 1024.0, 1),
+                "peak_rss_mb": round(peak_mb, 1),
+                "rss_samples": sampler.samples,
                 "makespan": result.makespan,
                 "terminated": result.all_terminated,
                 "events_processed": result.engine_counters.get("events_processed", 0),

@@ -41,6 +41,7 @@ BENCH_FILES = (
     HERE / "bench_wire_codec.py",
     HERE / "bench_delta_gossip.py",
     HERE / "bench_scenario_overhead.py",
+    HERE / "bench_telemetry_overhead.py",
     HERE / "bench_scale.py",
 )
 

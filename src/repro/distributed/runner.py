@@ -17,6 +17,8 @@ from ..bnb.basic_tree import BasicTree
 from ..bnb.problem import BranchAndBoundProblem
 from ..bnb.tree_problem import TreeReplayProblem
 from ..core.arena import TrieArena
+from ..obs import MetricsRegistry, Telemetry, TelemetryConfig, Tracer
+from ..obs.ingest import ingest_run_result
 from ..simulation.engine import SimulationEngine
 from ..simulation.failures import CrashEvent, FailureInjector
 from ..simulation.metrics import MetricsCollector
@@ -174,6 +176,7 @@ class DistributedBnBSimulation:
         max_sim_time: Optional[float] = None,
         max_events: Optional[int] = None,
         use_arena: bool = True,
+        telemetry: Optional[TelemetryConfig] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be at least 1")
@@ -201,6 +204,18 @@ class DistributedBnBSimulation:
         self.trace: Optional[TimelineTrace] = TimelineTrace() if enable_trace else None
         self.injector = FailureInjector(self.failures)
 
+        # Run-wide telemetry (repro.obs).  Tracing needs per-worker state
+        # intervals, so it forces an internal TimelineTrace even when the
+        # caller did not ask for one on the result; ``self.trace`` (and
+        # therefore ``RunResult.trace``) stays None unless ``enable_trace``.
+        self.telemetry_config = telemetry
+        self.tracer: Optional[Tracer] = None
+        self._worker_timeline: Optional[TimelineTrace] = self.trace
+        if telemetry is not None and telemetry.trace:
+            self.tracer = Tracer(process="engine")
+            if self._worker_timeline is None:
+                self._worker_timeline = TimelineTrace()
+
     # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
@@ -218,6 +233,7 @@ class DistributedBnBSimulation:
         # Per-kind traffic accounting (the network is protocol-agnostic, so
         # the classifier is installed here, where the protocol is known).
         self.net.classify = MessageKinds.of
+        self.net.tracer = self.tracer
 
         names = worker_names(self.n_workers)
         root_sub = self.problem.root_subproblem()
@@ -235,10 +251,11 @@ class DistributedBnBSimulation:
                 names,
                 rng=rng.stream(f"worker:{name}"),
                 metrics=self.metrics,
-                trace=self.trace,
+                trace=self._worker_timeline,
                 initial_work=[root_sub] if index == 0 else [],
                 expected_node_cost=self.expected_node_cost,
                 arena=arena,
+                tracer=self.tracer,
             )
             self.net.register(worker)
             self.workers.append(worker)
@@ -280,10 +297,12 @@ class DistributedBnBSimulation:
             stop_when=self._stop_condition,
         )
         end_time = self.engine.now
-        if self.trace is not None:
-            self.trace.finish(end_time)
+        if self._worker_timeline is not None:
+            self._worker_timeline.finish(end_time)
 
-        return self._collect_results(end_time)
+        result = self._collect_results(end_time)
+        result.telemetry = self._build_telemetry(end_time, result)
+        return result
 
     # ------------------------------------------------------------------ #
     # Result assembly
@@ -304,7 +323,42 @@ class DistributedBnBSimulation:
             engine_counters={
                 "events_processed": self.engine.events_processed,
                 "peak_heap_len": self.engine.peak_heap_len,
+                "compactions": self.engine.compactions,
             },
+        )
+
+    def _build_telemetry(
+        self, end_time: float, result: RunResult
+    ) -> Optional[Telemetry]:
+        """Assemble the run's :class:`~repro.obs.Telemetry`, if configured."""
+        cfg = self.telemetry_config
+        if cfg is None or not cfg.enabled:
+            return None
+        tracer: Optional[Tracer] = None
+        if cfg.trace and self.tracer is not None:
+            tracer = self.tracer
+            tracer.span(
+                "run",
+                0.0,
+                end_time,
+                process="engine",
+                category="engine",
+                args={"workers": self.n_workers},
+            )
+            if self._worker_timeline is not None:
+                tracer.add_timeline(self._worker_timeline, category="worker")
+            for name, stats in result.workers.items():
+                if stats.crashed and stats.crashed_at is not None:
+                    tracer.event(
+                        "crash", ts=stats.crashed_at, process=name, category="engine"
+                    )
+        metrics: Optional[MetricsRegistry] = None
+        if cfg.metrics:
+            metrics = ingest_run_result(MetricsRegistry(), result)
+        return Telemetry(
+            tracer=tracer,
+            metrics=metrics,
+            meta={"backend": "simulated", "clock": "sim-seconds"},
         )
 
 
@@ -347,6 +401,7 @@ def run_tree_simulation(
     use_arena: bool = True,
     shards: int = 1,
     shard_processes: Optional[bool] = None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> RunResult:
     """Run the distributed algorithm on a basic tree and return the result.
 
@@ -394,6 +449,7 @@ def run_tree_simulation(
             max_events=max_events,
             uniprocessor_time=uniprocessor_time,
             use_arena=use_arena,
+            telemetry=telemetry,
         )
     problem = TreeReplayProblem(tree, granularity=granularity, prune=prune)
     expected_node_cost = tree.mean_node_time() * granularity
@@ -411,5 +467,6 @@ def run_tree_simulation(
         max_sim_time=max_sim_time,
         max_events=max_events,
         use_arena=use_arena,
+        telemetry=telemetry,
     )
     return sim.run()

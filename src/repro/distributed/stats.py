@@ -142,6 +142,9 @@ class RunResult:
     #: and ``entity_steps`` (summed across shards when the run was sharded;
     #: ``peak_heap_len`` is the max over shards).
     engine_counters: Dict[str, int] = field(default_factory=dict)
+    #: Collected run telemetry (a :class:`repro.obs.Telemetry`) when the run
+    #: was started with a telemetry config; ``None`` otherwise.
+    telemetry: Optional[object] = None
 
     # ------------------------------------------------------------------ #
     # Correctness checks

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import random
 from collections.abc import Sequence as _SequenceABC
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..bnb.pool import SubproblemPool
 from ..bnb.problem import BranchAndBoundProblem, Subproblem
@@ -185,6 +185,7 @@ class WorkerEntity(Entity):
         initial_work: Sequence[Subproblem] = (),
         expected_node_cost: float = 0.0,
         arena: Optional[TrieArena] = None,
+        tracer: Optional[Any] = None,
     ) -> None:
         super().__init__(name)
         self.problem = problem
@@ -198,6 +199,9 @@ class WorkerEntity(Entity):
         self.metrics.register(name)
         self._time_account = self.metrics.time[name]
         self.trace = trace
+        #: Optional :class:`repro.obs.Tracer` for gossip/recovery telemetry
+        #: (``None`` keeps the hot paths on one attribute check).
+        self.tracer = tracer
 
         # Algorithm state ------------------------------------------------- #
         self.expander = NodeExpander(problem)
@@ -764,6 +768,14 @@ class WorkerEntity(Entity):
         self.recovery.note_recovery_started(code)
         self.stats.recovery_activations += 1
         self._trace_state("recovery")
+        if self.tracer is not None:
+            self.tracer.event(
+                "recovery_start",
+                ts=self._now(),
+                process=self.name,
+                category="recovery",
+                args={"depth": code.depth},
+            )
         if sub is None:
             # Replaying the code hits an infeasible decision: the subproblem
             # is trivially completed.
@@ -846,10 +858,21 @@ class WorkerEntity(Entity):
                 return 0.0
             self.send(target, DeltaGossipMsg(delta))
             self.stats.delta_gossips_sent += 1
+            gossip_kind = "delta_gossip"
         else:
             snapshot = self.tracker.build_table_snapshot(best=self._my_best())
             self.send(target, TableGossipMsg(snapshot))
             self.stats.table_gossips_sent += 1
+            gossip_kind = "table_gossip"
+        if self.tracer is not None:
+            self.tracer.span(
+                gossip_kind,
+                now,
+                self.config.msg_send_cost,
+                process=self.name,
+                category="gossip",
+                args={"target": target},
+            )
         return self._charge("communication", self.config.msg_send_cost)
 
     def _choose_report_targets(self, fanout: int) -> List[str]:

@@ -1,0 +1,64 @@
+"""The ``repro.*`` logger hierarchy and the CLI's verbosity wiring.
+
+Library code gets its logger with :func:`get_logger` (a child of the
+``repro`` root logger, so one configuration point controls everything) and
+never configures handlers itself — a library must not hijack the embedding
+application's logging.  The ``python -m repro`` CLI calls
+:func:`configure_logging` once per invocation: ``--quiet`` shows errors
+only, the default shows warnings (e.g. the override-shrink notes), ``-v``
+shows per-run progress and ``-vv`` the debug firehose.
+
+The handler resolves ``sys.stderr`` at emit time rather than capturing it at
+configuration time, so pytest's stream capturing (and anything else that
+swaps ``sys.stderr``) keeps working across repeated CLI invocations in one
+process.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["get_logger", "configure_logging", "ROOT_LOGGER_NAME"]
+
+ROOT_LOGGER_NAME = "repro"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(ROOT_LOGGER_NAME + ".") or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+class _StderrHandler(logging.Handler):
+    """A handler that looks up ``sys.stderr`` at emit time."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            sys.stderr.write(self.format(record) + "\n")
+        except Exception:  # pragma: no cover - never raise from logging
+            self.handleError(record)
+
+
+def configure_logging(verbosity: int = 0) -> logging.Logger:
+    """Configure the ``repro`` root logger for a CLI invocation.
+
+    ``verbosity``: -1 (``--quiet``) → ERROR, 0 → WARNING, 1 (``-v``) → INFO,
+    2+ (``-vv``) → DEBUG.  Idempotent: repeated calls adjust the level of the
+    one installed handler instead of stacking new ones.
+    """
+    level = {-1: logging.ERROR, 0: logging.WARNING, 1: logging.INFO}.get(
+        max(-1, min(verbosity, 2)), logging.DEBUG
+    )
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    logger.setLevel(level)
+    logger.propagate = False
+    if not any(isinstance(h, _StderrHandler) for h in logger.handlers):
+        handler = _StderrHandler()
+        handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+        logger.addHandler(handler)
+    return logger

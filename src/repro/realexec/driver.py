@@ -17,9 +17,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..bnb.basic_tree import BasicTree
+from ..obs import MetricsRegistry, Telemetry, TelemetryConfig, Tracer, get_logger
+from ..obs.ingest import ingest_router
 from ..wire import WireFormatError
-from .node import RealWorkerConfig, WorkerOutcome, worker_main
+from .node import RealWorkerConfig, WorkerOutcome, WorkerTelemetry, worker_main
 from .transport import create_router, recv_envelope, resolve_connection, validate_transport
+
+logger = get_logger("realexec.driver")
 
 __all__ = ["LocalClusterResult", "LocalCluster", "run_local_cluster"]
 
@@ -41,6 +45,9 @@ class LocalClusterResult:
     bytes_forwarded: int = 0
     #: Forwarded bytes per payload kind (frame-tag classification).
     bytes_by_kind: Dict[str, int] = field(default_factory=dict)
+    #: Merged :class:`repro.obs.Telemetry` (driver + workers + router) when
+    #: the cluster ran with telemetry enabled; ``None`` otherwise.
+    telemetry: Optional[Telemetry] = None
 
     @property
     def surviving_terminated(self) -> bool:
@@ -90,6 +97,7 @@ class LocalCluster:
         recovery_failed_threshold: int = 3,
         wire_generations: Optional[Sequence[int]] = None,
         transport: str = "pipe",
+        telemetry: Optional[TelemetryConfig] = None,
     ) -> None:
         """``wire_generations`` optionally assigns a wire-format generation
         per worker index (defaults to the current generation for all) — a
@@ -122,6 +130,7 @@ class LocalCluster:
                         f"(known: {FRAME_VERSION_V1}..{FRAME_VERSION})"
                     )
         self.wire_generations = list(wire_generations) if wire_generations is not None else None
+        self.telemetry = telemetry
         self.names = [f"rworker-{i:02d}" for i in range(n_workers)]
 
     def run(
@@ -143,6 +152,15 @@ class LocalCluster:
         router = create_router(self.transport)
         driver_handle = router.add_worker("__driver__")
 
+        telemetry_cfg = self.telemetry
+        telemetry_on = telemetry_cfg is not None and telemetry_cfg.enabled
+        tracer: Optional[Tracer] = None
+        if telemetry_cfg is not None and telemetry_cfg.trace:
+            # Workers record absolute wall timestamps; the driver's tracer
+            # shifts everything onto the cluster-start origin at export.
+            tracer = Tracer(process="driver", clock=time.time)
+            router.tracer = tracer
+
         tree_data = self.tree.to_dict()
         processes: Dict[str, mp.Process] = {}
         for index, name in enumerate(self.names):
@@ -162,6 +180,7 @@ class LocalCluster:
                 wire_generation=(
                     self.wire_generations[index] if self.wire_generations is not None else RealWorkerConfig.wire_generation
                 ),
+                telemetry=telemetry_on,
             )
             process = ctx.Process(target=worker_main, args=(config, endpoint), daemon=True)
             processes[name] = process
@@ -170,7 +189,11 @@ class LocalCluster:
         # transports, the workers) can connect.
         router.start()
         driver_end = resolve_connection(driver_handle)
+        logger.info(
+            "starting cluster: %d workers, transport=%s", self.n_workers, router.transport
+        )
         start = time.monotonic()
+        start_wall = time.time()
         for process in processes.values():
             process.start()
 
@@ -182,6 +205,7 @@ class LocalCluster:
         result._minimize = self.tree.minimize
 
         killed: List[str] = []
+        worker_telemetry: Dict[str, WorkerTelemetry] = {}
         deadline = start + self.max_seconds + 5.0
         pending_kills: List[Tuple[float, Tuple[str, ...]]] = sorted(
             [(start + delay, tuple(names)) for delay, names in kill_schedule]
@@ -199,6 +223,14 @@ class LocalCluster:
                             process.terminate()
                             if name not in killed:
                                 killed.append(name)
+                                logger.info("killed worker %s (fault injection)", name)
+                                if tracer is not None:
+                                    tracer.event(
+                                        "kill",
+                                        process="driver",
+                                        category="driver",
+                                        args={"worker": name},
+                                    )
                 while driver_end.poll(0.05):
                     try:
                         envelope = recv_envelope(driver_end)
@@ -208,6 +240,8 @@ class LocalCluster:
                         continue
                     if isinstance(envelope.payload, WorkerOutcome):
                         result.outcomes[envelope.payload.name] = envelope.payload
+                    elif isinstance(envelope.payload, WorkerTelemetry):
+                        worker_telemetry[envelope.payload.name] = envelope.payload
                 expected = {n for n in self.names if n not in killed}
                 if expected.issubset(result.outcomes.keys()):
                     break
@@ -232,7 +266,69 @@ class LocalCluster:
         result.messages_dropped = router.dropped
         result.bytes_forwarded = router.bytes_forwarded
         result.bytes_by_kind = dict(router.kind_bytes)
+        if telemetry_on:
+            result.telemetry = self._merge_telemetry(
+                result, router, tracer, worker_telemetry, start_wall
+            )
+        logger.info(
+            "cluster finished: wall=%.3fs outcomes=%d killed=%d forwarded=%d",
+            result.wall_time,
+            len(result.outcomes),
+            len(result.killed),
+            result.messages_forwarded,
+        )
         return result
+
+    def _merge_telemetry(
+        self,
+        result: LocalClusterResult,
+        router,
+        tracer: Optional[Tracer],
+        worker_telemetry: Dict[str, WorkerTelemetry],
+        start_wall: float,
+    ) -> Telemetry:
+        """Merge driver, router and worker telemetry into one view.
+
+        Worker records arrive as JSON payloads with absolute wall
+        timestamps; the merged tracer rebases everything on the cluster's
+        start time so the exported trace begins near zero.
+        """
+        decoded = {}
+        for name, frame in worker_telemetry.items():
+            try:
+                decoded[name] = frame.decoded()
+            except ValueError:  # pragma: no cover - defensive
+                logger.warning("discarding corrupt telemetry frame from %s", name)
+        metrics = MetricsRegistry()
+        for payload in decoded.values():
+            snapshot = payload.get("metrics")
+            if snapshot:
+                metrics.merge_snapshot(snapshot)
+        ingest_router(metrics, router)
+        metrics.counter("cluster_workers_killed").inc(len(result.killed))
+        merged = tracer if tracer is not None else Tracer(process="driver", clock=time.time)
+        merged.span(
+            "run",
+            start_wall,
+            result.wall_time,
+            process="driver",
+            category="driver",
+            args={"workers": self.n_workers, "transport": router.transport},
+        )
+        for payload in decoded.values():
+            merged.merge_records(payload.get("records", []))
+        merged.time_origin = start_wall
+        cfg = self.telemetry
+        return Telemetry(
+            tracer=merged if (cfg is None or cfg.trace) else None,
+            metrics=metrics if (cfg is None or cfg.metrics) else None,
+            meta={
+                "backend": "realexec",
+                "transport": router.transport,
+                "clock": "wall",
+                "workers": self.n_workers,
+            },
+        )
 
 
 def run_local_cluster(

@@ -31,6 +31,7 @@ processes in the fault-injection tests.
 
 from __future__ import annotations
 
+import json
 import random
 import time
 from dataclasses import dataclass
@@ -53,6 +54,7 @@ from ..distributed.messages import (
     WorkReportMsg,
     WorkRequest,
 )
+from ..obs import MetricsRegistry, Tracer
 from ..wire import FRAME_VERSION, WireFormatError
 from ..wire.frame import Tag, register
 from ..wire.varint import (
@@ -73,10 +75,12 @@ from .transport import (
     send_envelope,
 )
 
-__all__ = ["RealWorkerConfig", "WorkerOutcome", "worker_main"]
+__all__ = ["RealWorkerConfig", "WorkerOutcome", "WorkerTelemetry", "worker_main"]
 
 #: Wire tag of the worker-outcome message (transport extension range).
 WORKER_OUTCOME_TAG = int(Tag.EXTENSION_BASE) + 1
+#: Wire tag of the worker-telemetry message (transport extension range).
+WORKER_TELEMETRY_TAG = int(Tag.EXTENSION_BASE) + 2
 
 
 @dataclass(frozen=True)
@@ -101,6 +105,9 @@ class RealWorkerConfig:
     wire_generation: int = FRAME_VERSION
     #: Minimum wall-clock seconds between table-gossip pushes while starved.
     gossip_interval: float = 0.2
+    #: Collect run telemetry (trace records + a metrics snapshot) and ship it
+    #: to the driver as a :class:`WorkerTelemetry` frame before the outcome.
+    telemetry: bool = False
 
 
 @dataclass(frozen=True)
@@ -155,6 +162,47 @@ register(WORKER_OUTCOME_TAG, WorkerOutcome, _write_worker_outcome, _read_worker_
 register_payload_kind(WORKER_OUTCOME_TAG, "worker_outcome")
 
 
+@dataclass(frozen=True)
+class WorkerTelemetry:
+    """One worker's telemetry, shipped to the driver before the outcome.
+
+    ``payload`` is a JSON document ``{"records": [...], "metrics": {...}}`` —
+    the tracer's exported records (wall-clock timestamps, so the driver can
+    merge every process onto one axis) and the worker's metrics-registry
+    snapshot.  JSON keeps the frame body self-describing and forward
+    compatible; telemetry volume is tiny next to the protocol traffic.
+    """
+
+    name: str
+    payload: str
+
+    def decoded(self) -> dict:
+        """The parsed payload document."""
+        return json.loads(self.payload)
+
+
+def _write_worker_telemetry(out: bytearray, message: WorkerTelemetry) -> None:
+    """Telemetry body: worker name, then the JSON document."""
+    write_string(out, message.name)
+    write_string(out, message.payload)
+
+
+def _read_worker_telemetry(data, pos: int) -> Tuple[WorkerTelemetry, int]:
+    """Read a telemetry body written by :func:`_write_worker_telemetry`."""
+    name, pos = read_string(data, pos)
+    payload, pos = read_string(data, pos)
+    return WorkerTelemetry(name=name, payload=payload), pos
+
+
+register(
+    WORKER_TELEMETRY_TAG,
+    WorkerTelemetry,
+    _write_worker_telemetry,
+    _read_worker_telemetry,
+)
+register_payload_kind(WORKER_TELEMETRY_TAG, "worker_telemetry")
+
+
 def worker_main(config: RealWorkerConfig, connection) -> None:
     """Entry point executed in the child process.
 
@@ -169,6 +217,14 @@ def worker_main(config: RealWorkerConfig, connection) -> None:
     :class:`WorkerOutcome` is sent to the driver over the same channel.
     """
     connection = resolve_connection(connection)
+    run_start = time.time()
+    # Telemetry is opt-in; the loop below guards every recording site with
+    # one ``is not None`` check so disabled runs pay nothing.
+    tracer: Optional[Tracer] = None
+    registry: Optional[MetricsRegistry] = None
+    if config.telemetry:
+        tracer = Tracer(process=config.name, clock=time.time)
+        registry = MetricsRegistry()
     tree = BasicTree.from_dict(config.tree_data)
     problem = TreeReplayProblem(tree, prune=config.prune)
     expander = NodeExpander(problem)
@@ -230,7 +286,13 @@ def worker_main(config: RealWorkerConfig, connection) -> None:
                 # generation-2 payload from an upgraded peer — is
                 # indistinguishable from a lost message in the paper's
                 # unreliable-channel model: drop it and move on.
+                if registry is not None:
+                    registry.counter(
+                        "worker_frames_dropped", worker=config.name
+                    ).inc()
                 continue
+            if registry is not None:
+                registry.counter("worker_frames_received", worker=config.name).inc()
             payload = envelope.payload
             absorb_best(payload)
             if isinstance(payload, WorkRequest):
@@ -315,12 +377,23 @@ def worker_main(config: RealWorkerConfig, connection) -> None:
             if peers and (now_wall - last_gossip) >= config.gossip_interval and len(tracker.table):
                 target = rng.choice(peers)
                 last_gossip = now_wall
+                gossip_kind = None
                 if config.wire_generation >= 2:
                     gossip_delta = tracker.build_delta_snapshot(target, best=my_best())
                     if not gossip_delta.is_empty:
                         send(target, DeltaGossipMsg(gossip_delta))
+                        gossip_kind = "delta_gossip"
                 else:
                     send(target, TableGossipMsg(tracker.build_table_snapshot(best=my_best())))
+                    gossip_kind = "table_gossip"
+                if gossip_kind is not None and tracer is not None:
+                    tracer.span(
+                        gossip_kind,
+                        now_wall,
+                        time.time() - now_wall if time.time() > now_wall else 0.0,
+                        category="gossip",
+                        args={"target": target},
+                    )
             if peers and not outstanding_request:
                 send(rng.choice(peers), WorkRequest(requester=config.name, best=my_best()))
                 outstanding_request = True
@@ -330,6 +403,12 @@ def worker_main(config: RealWorkerConfig, connection) -> None:
             decision = recovery.evaluate(tracker, time.monotonic())
             if decision.code is not None:
                 recovery.note_recovery_started(decision.code)
+                if tracer is not None:
+                    tracer.event(
+                        "recovery_start",
+                        category="recovery",
+                        args={"depth": decision.code.depth},
+                    )
                 rebuilt = problem.rebuild_subproblem(decision.code)
                 if rebuilt is None:
                     tracker.record_completed(decision.code)
@@ -363,6 +442,35 @@ def worker_main(config: RealWorkerConfig, connection) -> None:
         reports_sent=reports_sent,
         recoveries=recovery.stats.activations,
     )
+    if tracer is not None and registry is not None:
+        # Whole-lifetime span for this worker, in absolute wall time: the
+        # driver shifts everything onto a shared origin at export.
+        tracer.span(
+            "run",
+            run_start,
+            time.time() - run_start,
+            category="worker",
+            args={"nodes_expanded": expander.nodes_expanded},
+        )
+        registry.counter("worker_reports_sent", worker=config.name).inc(reports_sent)
+        registry.counter("worker_recoveries", worker=config.name).inc(
+            recovery.stats.activations
+        )
+        # The telemetry frame must precede the outcome: pipe delivery is
+        # FIFO, and the driver stops reading a worker once its outcome
+        # triggers the completion check.
+        send(
+            "__driver__",
+            WorkerTelemetry(
+                name=config.name,
+                payload=json.dumps(
+                    {
+                        "records": list(tracer.iter_records()),
+                        "metrics": registry.snapshot(),
+                    }
+                ),
+            ),
+        )
     send("__driver__", outcome_message)
     try:
         connection.close()

@@ -318,6 +318,10 @@ class EnvelopeRouter:
         self.kind_bytes: Dict[str, int] = {}
         #: Forwarded messages per payload kind.
         self.kind_messages: Dict[str, int] = {}
+        #: Optional :class:`repro.obs.Tracer` recording forward spans.  Set
+        #: by the driver when telemetry is on; appends from the router
+        #: thread are GIL-atomic list operations, so no extra locking.
+        self.tracer = None
 
     # ------------------------------------------------------------------ #
     # Transport interface
@@ -390,6 +394,7 @@ class EnvelopeRouter:
                 if destination is None:
                     self.dropped += 1
                     continue
+                forward_start = time.time()
                 try:
                     destination.send_bytes(frame)
                 except (BrokenPipeError, OSError):
@@ -397,6 +402,15 @@ class EnvelopeRouter:
                     continue
                 self.forwarded += 1
                 size = len(frame)
+                if self.tracer is not None:
+                    self.tracer.span(
+                        payload_kind(tag),
+                        forward_start,
+                        time.time() - forward_start,
+                        process="router",
+                        category="transport",
+                        args={"link": f"{sender}->{dest}", "bytes": size},
+                    )
                 self.bytes_forwarded += size
                 link = (sender, dest)
                 self.link_bytes[link] = self.link_bytes.get(link, 0) + size

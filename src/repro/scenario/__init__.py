@@ -41,12 +41,13 @@ from .backends import (
 )
 from .registry import get_scenario, list_scenarios, register_scenario, scenario_names
 from .result import ScenarioResult, WorkerSummary, format_comparison
-from .spec import CRITICAL, FailureSpec, Scenario, WorkloadSpec
+from .spec import CRITICAL, FailureSpec, Scenario, TelemetryConfig, WorkloadSpec
 
 __all__ = [
     "Scenario",
     "WorkloadSpec",
     "FailureSpec",
+    "TelemetryConfig",
     "CRITICAL",
     "ScenarioResult",
     "WorkerSummary",

@@ -27,10 +27,14 @@ from typing import Dict, List, Optional, Protocol, Sequence, Tuple, runtime_chec
 
 from ..bnb.tree_problem import TreeReplayProblem
 from ..distributed.runner import NetworkConfig, run_tree_simulation
+from ..obs import MetricsRegistry, Telemetry, get_logger
+from ..obs.ingest import ingest_scenario_totals
 from ..simulation.failures import CrashEvent
 from ..simulation.network import Partition
 from .result import ScenarioResult, WorkerSummary
 from .spec import Scenario, translate_canonical
+
+logger = get_logger("scenario.runner")
 
 __all__ = [
     "Backend",
@@ -82,7 +86,20 @@ def backend_names() -> List[str]:
 
 def run_scenario(scenario: Scenario, backend: str = "simulated") -> ScenarioResult:
     """Run one scenario on one backend — the library's single entry point."""
-    return get_backend(backend).run(scenario)
+    logger.info(
+        "running scenario %r on backend %r (%d workers)",
+        scenario.name,
+        backend,
+        scenario.n_workers,
+    )
+    result = get_backend(backend).run(scenario)
+    logger.info(
+        "scenario %r finished: makespan=%.3f terminated=%s",
+        scenario.name,
+        result.makespan,
+        result.terminated,
+    )
+    return result
 
 
 def compare_backends(
@@ -160,8 +177,28 @@ def _reference_key(scenario: Scenario) -> Scenario:
         description="",
         failures=(),
         enable_trace=False,
+        telemetry=None,
         compute_uniprocessor_time=False,
         uniprocessor_time=None,
+    )
+
+
+def _baseline_telemetry(
+    scenario: Scenario, result: ScenarioResult, backend: str
+) -> Optional[Telemetry]:
+    """Metrics-only telemetry for the baseline backends.
+
+    The ``central`` and ``dib`` runners have no per-layer instrumentation, so
+    their telemetry is the normalised cross-backend totals folded into a
+    registry; structured tracing is not supported there (documented in
+    ``docs/OBSERVABILITY.md``).
+    """
+    cfg = scenario.telemetry
+    if cfg is None or not cfg.metrics:
+        return None
+    return Telemetry(
+        metrics=ingest_scenario_totals(MetricsRegistry(), result),
+        meta={"backend": backend, "scenario": scenario.name},
     )
 
 
@@ -231,7 +268,10 @@ class SimulatedBackend:
                 scenario.compute_uniprocessor_time and scenario.uniprocessor_time is None
             ),
             shards=scenario.shards,
+            telemetry=scenario.telemetry,
         )
+        if result.telemetry is not None:
+            result.telemetry.meta.setdefault("scenario", scenario.name)
 
         workers = {
             name: WorkerSummary(
@@ -264,6 +304,7 @@ class SimulatedBackend:
             workers=workers,
             engine_counters=dict(result.engine_counters),
             raw=result,
+            telemetry=result.telemetry,
         )
 
 
@@ -326,7 +367,7 @@ class CentralBackend:
             )
             for name in names
         }
-        return ScenarioResult(
+        scenario_result = ScenarioResult(
             scenario=scenario.name,
             backend=self.name,
             n_workers=scenario.n_workers,
@@ -344,6 +385,10 @@ class CentralBackend:
             workers=workers,
             raw=result,
         )
+        scenario_result.telemetry = _baseline_telemetry(
+            scenario, scenario_result, self.name
+        )
+        return scenario_result
 
 
 # --------------------------------------------------------------------------- #
@@ -406,7 +451,7 @@ class DibBackend:
             )
             for name in names
         }
-        return ScenarioResult(
+        scenario_result = ScenarioResult(
             scenario=scenario.name,
             backend=self.name,
             n_workers=scenario.n_workers,
@@ -423,6 +468,10 @@ class DibBackend:
             workers=workers,
             raw=result,
         )
+        scenario_result.telemetry = _baseline_telemetry(
+            scenario, scenario_result, self.name
+        )
+        return scenario_result
 
 
 # --------------------------------------------------------------------------- #
@@ -455,6 +504,7 @@ class RealexecBackend:
             recovery_failed_threshold=scenario.config.recovery_failed_threshold,
             wire_generations=scenario.wire_generations,
             transport=scenario.transport,
+            telemetry=scenario.telemetry,
         )
         kill_schedule = [
             (
@@ -480,7 +530,7 @@ class RealexecBackend:
         for name in result.killed:
             workers.setdefault(name, WorkerSummary(name=name, crashed=True))
         survivors = [w for w in workers.values() if not w.crashed]
-        return ScenarioResult(
+        scenario_result = ScenarioResult(
             scenario=scenario.name,
             backend=self.name,
             n_workers=scenario.n_workers,
@@ -497,6 +547,10 @@ class RealexecBackend:
             workers=workers,
             raw=result,
         )
+        if result.telemetry is not None:
+            result.telemetry.meta.setdefault("scenario", scenario.name)
+            scenario_result.telemetry = result.telemetry
+        return scenario_result
 
 
 register_backend(SimulatedBackend())

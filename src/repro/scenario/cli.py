@@ -1,20 +1,30 @@
 """``python -m repro`` — the command-line face of the scenario API.
 
-Three subcommands:
+Four subcommands:
 
 * ``list-scenarios`` — the registered named scenarios and their backends;
 * ``run <scenario>`` — run one scenario on one backend and print its
   normalised summary (``--backend``, ``--workers``, ``--seed``,
-  ``--transport``, ``--scale`` override the registered spec);
+  ``--transport``, ``--scale`` override the registered spec; ``--trace
+  out.json`` writes a Chrome/Perfetto trace, ``--metrics`` prints the
+  unified metrics registry);
 * ``compare <scenario>`` — run the same scenario on several backends
-  (default: the three simulated designs) and print one comparison table.
+  (default: the three simulated designs) and print one comparison table;
+* ``inspect <trace.json>`` — render a previously written Chrome trace as
+  an ASCII Gantt chart plus its top-line metrics, without re-running
+  anything.
+
+``-v``/``-q`` (before the subcommand) raise/lower logging verbosity on the
+``repro.*`` logger hierarchy (stderr).
 
 Examples::
 
     python -m repro list-scenarios
     python -m repro run figure3 --backend simulated
+    python -m repro run quickstart --trace quickstart.json --metrics
     python -m repro run quickstart --backend realexec --transport uds
     python -m repro compare crash-storm --backends simulated,central,dib
+    python -m repro inspect quickstart.json
 """
 
 from __future__ import annotations
@@ -23,12 +33,15 @@ import argparse
 from dataclasses import replace
 from typing import List, Optional
 
+from ..obs import TelemetryConfig, configure_logging, get_logger
 from .backends import backend_names, compare_backends, run_scenario
 from .registry import get_scenario, list_scenarios
 from .result import format_comparison
 from .spec import Scenario
 
 __all__ = ["main"]
+
+logger = get_logger("scenario.cli")
 
 
 def _exists_at(victim, canonical) -> bool:
@@ -82,11 +95,13 @@ def _apply_overrides(scenario: Scenario, args: argparse.Namespace) -> Scenario:
             changes["network"].partitions
         )
         if dropped_victims or dropped_partitions:
-            print(
-                f"note: --workers {args.workers} dropped "
-                f"{dropped_victims} failure victim(s) and "
-                f"{dropped_partitions} partition(s) naming workers that no "
-                f"longer exist — the scenario's failure semantics changed"
+            logger.warning(
+                "--workers %d dropped %d failure victim(s) and %d "
+                "partition(s) naming workers that no longer exist — the "
+                "scenario's failure semantics changed",
+                args.workers,
+                dropped_victims,
+                dropped_partitions,
             )
         if scenario.wire_generations is not None and len(scenario.wire_generations) != args.workers:
             changes["wire_generations"] = None
@@ -99,6 +114,12 @@ def _apply_overrides(scenario: Scenario, args: argparse.Namespace) -> Scenario:
     if getattr(args, "scale", None) is not None:
         changes["workload"] = replace(
             scenario.workload, scale=scenario.workload.scale * args.scale
+        )
+    if getattr(args, "trace", None) is not None or getattr(args, "metrics", False):
+        # Telemetry rides along with whichever output the user asked for;
+        # metrics are cheap enough to always collect when telemetry is on.
+        changes["telemetry"] = TelemetryConfig(
+            trace=getattr(args, "trace", None) is not None, metrics=True
         )
     return scenario.with_overrides(**changes) if changes else scenario
 
@@ -153,6 +174,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if result.solved_correctly is False or not result.terminated:
         print("\nnote: the run did not terminate on the reference optimum "
               "(for the baseline backends under critical failures, that is the point)")
+    telemetry = result.telemetry
+    if args.trace is not None:
+        if telemetry is None or telemetry.tracer is None:
+            print(f"note: backend {args.backend!r} produced no trace records")
+        else:
+            telemetry.write_chrome_trace(args.trace)
+            print(f"\nwrote Chrome trace to {args.trace} "
+                  f"(open in Perfetto or chrome://tracing; "
+                  f"inspect with: python -m repro inspect {args.trace})")
+    if args.metrics:
+        if telemetry is None or telemetry.metrics is None:
+            print(f"note: backend {args.backend!r} produced no metrics")
+        else:
+            print("\n--- metrics ---")
+            print(telemetry.metrics_text(), end="")
     return 0
 
 
@@ -166,11 +202,67 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from ..obs.chrome import (
+        category_span_counts,
+        load_chrome_trace,
+        timeline_from_chrome,
+    )
+
+    try:
+        document = load_chrome_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read trace {args.trace!r}: {exc}")
+        return 2
+
+    meta = document.get("repro", {}).get("meta", {})
+    if meta:
+        described = ", ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+        print(f"--- trace: {args.trace} ({described}) ---")
+    else:
+        print(f"--- trace: {args.trace} ---")
+
+    counts = category_span_counts(document)
+    if counts:
+        total = sum(counts.values())
+        by_cat = ", ".join(f"{cat}={n}" for cat, n in sorted(counts.items()))
+        print(f"{total} spans across {len(counts)} categories: {by_cat}")
+
+    timeline = timeline_from_chrome(document)
+    print()
+    print(timeline.ascii_gantt(width=args.width))
+
+    metrics = document.get("repro", {}).get("metrics", {})
+    counters = metrics.get("counters", {})
+    if counters:
+        print("\ntop counters:")
+        ranked = sorted(counters.items(), key=lambda kv: -kv[1])[: args.top]
+        for key, value in ranked:
+            print(f"  {key:<48} {value}")
+        if len(counters) > args.top:
+            print(f"  ... and {len(counters) - args.top} more "
+                  f"(re-run with --top {len(counters)})")
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        print("\ngauges (value/peak):")
+        for key, entry in sorted(gauges.items()):
+            print(f"  {key:<48} {entry['value']:g}/{entry['peak']:g}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run declarative fault-tolerance scenarios on any backend.",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="raise logging verbosity (-v info, -vv debug; stderr)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="count", default=0,
+        help="lower logging verbosity (errors only)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -185,6 +277,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=backend_names(),
         help="backend to run on (default: simulated)",
     )
+    run_p.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Chrome/Perfetto trace of the run to PATH (enables telemetry)",
+    )
+    run_p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the run's unified metrics registry (enables telemetry)",
+    )
     _add_override_flags(run_p)
     run_p.set_defaults(func=_cmd_run)
 
@@ -197,12 +299,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_override_flags(cmp_p)
     cmp_p.set_defaults(func=_cmd_compare)
+
+    inspect_p = sub.add_parser(
+        "inspect", help="render a Chrome trace as an ASCII Gantt plus metrics"
+    )
+    inspect_p.add_argument("trace", help="path of a trace written by run --trace")
+    inspect_p.add_argument(
+        "--width", type=int, default=80, help="Gantt chart width in columns"
+    )
+    inspect_p.add_argument(
+        "--top", type=int, default=12, help="number of counters to show"
+    )
+    inspect_p.set_defaults(func=_cmd_inspect)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(args.verbose - args.quiet)
     try:
         return args.func(args)
     except KeyError as exc:

@@ -93,6 +93,9 @@ class ScenarioResult:
     engine_counters: Dict[str, int] = field(default_factory=dict)
     #: The backend-native result object (RunResult, CentralRunResult, …).
     raw: object = None
+    #: Collected run telemetry (:class:`repro.obs.Telemetry`) when the
+    #: scenario carried a telemetry config; ``None`` otherwise.
+    telemetry: object = None
 
     # ------------------------------------------------------------------ #
     # Correctness and derived metrics

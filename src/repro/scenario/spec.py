@@ -29,11 +29,13 @@ from ..bnb.basic_tree import BasicTree
 from ..bnb.pool import SelectionRule
 from ..distributed.config import AlgorithmConfig
 from ..distributed.runner import NetworkConfig, worker_names
+from ..obs import TelemetryConfig
 
 __all__ = [
     "WorkloadSpec",
     "FailureSpec",
     "Scenario",
+    "TelemetryConfig",
     "CRITICAL",
     "canonical_index",
     "translate_canonical",
@@ -272,6 +274,9 @@ class Scenario:
     granularity: float = 1.0
     #: Record a timeline trace (simulated backend only).
     enable_trace: bool = False
+    #: Run-wide telemetry (structured tracing and/or the metrics registry,
+    #: see :mod:`repro.obs`); ``None`` collects nothing.
+    telemetry: Optional[TelemetryConfig] = None
     #: Measure the sequential reference time (enables ``speedup()``).
     compute_uniprocessor_time: bool = False
     #: Explicit sequential reference time, for sweeps that measured it once

@@ -150,6 +150,10 @@ class Network:
         self.kind_bytes: Dict[str, int] = {}
         #: Messages injected per message kind (ditto).
         self.kind_messages: Dict[str, int] = {}
+        #: Optional :class:`repro.obs.Tracer`: when set, every scheduled
+        #: delivery records a transport span (ts = send time, dur = modeled
+        #: latency).  ``None`` keeps the hot path on one attribute check.
+        self.tracer: Optional[Any] = None
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -228,6 +232,20 @@ class Network:
             return False
 
         delay = self.latency.latency(size, self.rng)
+        if self.tracer is not None:
+            kind = (
+                self.classify(payload)
+                if self.classify is not None
+                else type(payload).__name__
+            )
+            self.tracer.span(
+                kind,
+                now,
+                delay,
+                process=src,
+                category="transport",
+                args={"dst": dst, "bytes": size},
+            )
         message = QueuedMessage(
             sender=src,
             payload=payload,

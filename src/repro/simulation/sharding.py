@@ -47,6 +47,8 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from ..bnb.basic_tree import BasicTree
 from ..bnb.tree_problem import TreeReplayProblem
 from ..core.arena import TrieArena
+from ..obs import MetricsRegistry, Telemetry, TelemetryConfig, Tracer
+from ..obs.ingest import ingest_run_result
 from .engine import SimulationEngine
 from .entity import QueuedMessage
 from .failures import CrashEvent, FailureInjector
@@ -215,6 +217,7 @@ class _Shard:
         expected_node_cost: float,
         use_arena: bool,
         metrics: Optional[MetricsCollector] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         from ..distributed.messages import MessageKinds
         from ..distributed.worker import WorkerEntity
@@ -233,6 +236,10 @@ class _Shard:
             members=all_names,
         )
         self.net.classify = MessageKinds.of
+        # In-process shards share the coordinator's tracer (single-threaded
+        # round-robin stepping, so plain list appends are safe); forked shard
+        # processes run without one.
+        self.net.tracer = tracer
         self.metrics = metrics if metrics is not None else MetricsCollector()
         arena = TrieArena() if use_arena else None
         root_sub = problem.root_subproblem()
@@ -250,6 +257,7 @@ class _Shard:
                 initial_work=[root_sub] if name == root_owner else [],
                 expected_node_cost=expected_node_cost,
                 arena=arena,
+                tracer=tracer,
             )
             self.net.register(worker)
             self.workers.append(worker)
@@ -285,6 +293,7 @@ class ShardedBnBSimulation:
         max_events: Optional[int] = None,
         uniprocessor_time: Optional[float] = None,
         use_arena: bool = True,
+        telemetry: Optional[TelemetryConfig] = None,
     ) -> None:
         from ..distributed.config import AlgorithmConfig
         from ..distributed.runner import NetworkConfig, worker_names
@@ -314,6 +323,7 @@ class ShardedBnBSimulation:
         self.max_events = max_events
         self.uniprocessor_time = uniprocessor_time
         self.use_arena = use_arena
+        self.telemetry = telemetry
         if processes is None:
             # Processes only pay off with real parallel hardware; the forked
             # children otherwise just add serialisation overhead.
@@ -343,11 +353,50 @@ class ShardedBnBSimulation:
         return "fork" in multiprocessing.get_all_start_methods()
 
     # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+    def _make_tracer(self) -> Optional[Tracer]:
+        if self.telemetry is not None and self.telemetry.trace:
+            return Tracer(process="coordinator")
+        return None
+
+    def _finish_telemetry(
+        self, result: Any, tracer: Optional[Tracer], end_time: float
+    ) -> Optional[Telemetry]:
+        """Assemble the merged run's :class:`~repro.obs.Telemetry`."""
+        cfg = self.telemetry
+        if cfg is None or not cfg.enabled:
+            return None
+        if cfg.trace and tracer is not None:
+            tracer.span(
+                "run",
+                0.0,
+                end_time,
+                category="engine",
+                args={"workers": self.n_workers, "shards": self.shards},
+            )
+        else:
+            tracer = None
+        metrics: Optional[MetricsRegistry] = None
+        if cfg.metrics:
+            metrics = ingest_run_result(MetricsRegistry(), result)
+        return Telemetry(
+            tracer=tracer,
+            metrics=metrics,
+            meta={
+                "backend": "simulated",
+                "clock": "sim-seconds",
+                "shards": self.shards,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
     # In-process mode
     # ------------------------------------------------------------------ #
     def _run_inprocess(self, problem: TreeReplayProblem):
         from ..distributed.runner import assemble_run_result
 
+        tracer = self._make_tracer()
         metrics = MetricsCollector()
         shards = [
             _Shard(
@@ -362,6 +411,7 @@ class ShardedBnBSimulation:
                 self.tree.mean_node_time() * self.granularity,
                 self.use_arena,
                 metrics=metrics,
+                tracer=tracer,
             )
             for i in range(self.shards)
         ]
@@ -373,11 +423,14 @@ class ShardedBnBSimulation:
 
         lookahead = self.lookahead
         events_total = 0
+        epochs = 0
+        cross_shard_messages = 0
         while True:
             staged: List[Tuple[float, float, str, str, Any, int, int, int]] = []
             for shard in shards:
                 for seq, msg in enumerate(shard.net.drain_outbox()):
                     staged.append(msg[:4] + (shard.index, seq) + msg[4:])
+            cross_shard_messages += len(staged)
             # (delivered_at, sent_at, src, dst, shard, seq, payload, size):
             # the first six fields sort deterministically without ever
             # comparing payload objects.
@@ -398,6 +451,15 @@ class ShardedBnBSimulation:
             barrier = horizon + lookahead
             if self.max_sim_time is not None:
                 barrier = min(barrier, self.max_sim_time)
+            epochs += 1
+            if tracer is not None:
+                tracer.span(
+                    "epoch",
+                    horizon,
+                    barrier - horizon,
+                    category="engine",
+                    args={"epoch": epochs, "cross_shard": len(staged)},
+                )
             for shard in shards:
                 budget = None
                 if self.max_events is not None:
@@ -415,11 +477,13 @@ class ShardedBnBSimulation:
         net_stats = TrafficStats()
         kind_bytes: Dict[str, int] = {}
         peak_heap = 0
+        compactions = 0
         for shard in shards:
             _merge_traffic(net_stats, shard.net.stats)
             _merge_kind_counts(kind_bytes, shard.net.kind_bytes)
             peak_heap = max(peak_heap, shard.engine.peak_heap_len)
-        return assemble_run_result(
+            compactions += shard.engine.compactions
+        result = assemble_run_result(
             all_workers,
             n_workers=self.n_workers,
             end_time=end_time,
@@ -433,9 +497,14 @@ class ShardedBnBSimulation:
             engine_counters={
                 "events_processed": events_total,
                 "peak_heap_len": peak_heap,
+                "compactions": compactions,
                 "shards": self.shards,
+                "epochs": epochs,
+                "cross_shard_messages": cross_shard_messages,
             },
         )
+        result.telemetry = self._finish_telemetry(result, tracer, end_time)
+        return result
 
     # ------------------------------------------------------------------ #
     # Process mode
@@ -443,6 +512,10 @@ class ShardedBnBSimulation:
     def _run_processes(self, problem: TreeReplayProblem):
         from ..distributed.runner import assemble_run_result
 
+        # Forked shards keep no tracer of their own (their records would need
+        # another merge channel); the coordinator still traces the epoch
+        # protocol, and the metrics registry is built from the merged result.
+        tracer = self._make_tracer()
         ctx = multiprocessing.get_context("fork")
         conns = []
         procs = []
@@ -478,12 +551,15 @@ class ShardedBnBSimulation:
             reports = [conn.recv() for conn in conns]
             lookahead = self.lookahead
             events_total = 0
+            epochs = 0
+            cross_shard_messages = 0
             while True:
                 staged = []
                 for i, report in enumerate(reports):
                     for seq, msg in enumerate(report["outbox"]):
                         staged.append(msg[:4] + (i, seq) + msg[4:])
                 staged.sort(key=lambda item: item[:6])
+                cross_shard_messages += len(staged)
                 inbound: List[List[Tuple]] = [[] for _ in range(self.shards)]
                 for delivered_at, sent_at, src, dst, _shard, _seq, blob, size in staged:
                     inbound[name_to_shard[dst]].append(
@@ -511,6 +587,15 @@ class ShardedBnBSimulation:
                 barrier = horizon + lookahead
                 if self.max_sim_time is not None:
                     barrier = min(barrier, self.max_sim_time)
+                epochs += 1
+                if tracer is not None:
+                    tracer.span(
+                        "epoch",
+                        horizon,
+                        barrier - horizon,
+                        category="engine",
+                        args={"epoch": epochs, "cross_shard": len(staged)},
+                    )
                 budget = None
                 if self.max_events is not None:
                     budget = self.max_events - events_total
@@ -534,6 +619,7 @@ class ShardedBnBSimulation:
         end_time = 0.0
         peak_heap = 0
         events_final = 0
+        compactions = 0
         for result in results:
             _merge_metrics(metrics, result["metrics"])
             _merge_traffic(net_stats, result["net_stats"])
@@ -541,9 +627,10 @@ class ShardedBnBSimulation:
             end_time = max(end_time, result["now"])
             peak_heap = max(peak_heap, result["peak_heap_len"])
             events_final += result["events_processed"]
+            compactions += result.get("compactions", 0)
             for name, stats, expanded in result["workers"]:
                 all_workers.append(_ShardWorkerResult(name, stats, expanded))
-        return assemble_run_result(
+        merged = assemble_run_result(
             all_workers,
             n_workers=self.n_workers,
             end_time=end_time,
@@ -557,9 +644,14 @@ class ShardedBnBSimulation:
             engine_counters={
                 "events_processed": events_final,
                 "peak_heap_len": peak_heap,
+                "compactions": compactions,
                 "shards": self.shards,
+                "epochs": epochs,
+                "cross_shard_messages": cross_shard_messages,
             },
         )
+        merged.telemetry = self._finish_telemetry(merged, tracer, end_time)
+        return merged
 
 
 def _shard_process_main(
@@ -639,6 +731,7 @@ def _shard_process_main(
             "now": shard.engine.now,
             "peak_heap_len": shard.engine.peak_heap_len,
             "events_processed": shard.engine.events_processed,
+            "compactions": shard.engine.compactions,
         }
     )
     conn.close()
@@ -661,6 +754,7 @@ def run_sharded_tree_simulation(
     max_events: Optional[int] = None,
     uniprocessor_time: Optional[float] = None,
     use_arena: bool = True,
+    telemetry: Optional[TelemetryConfig] = None,
 ):
     """Run one tree workload on the sharded engine and merge the results.
 
@@ -687,5 +781,6 @@ def run_sharded_tree_simulation(
         max_events=max_events,
         uniprocessor_time=uniprocessor_time,
         use_arena=use_arena,
+        telemetry=telemetry,
     )
     return sim.run()

@@ -133,6 +133,24 @@ class TimelineTrace:
             lines.append(f"{row['process']},{row['state']},{row['start']:.6f},{row['end']:.6f}")
         return "\n".join(lines) + "\n"
 
+    @classmethod
+    def from_csv(cls, text: str) -> "TimelineTrace":
+        """Rebuild a finished trace from :meth:`to_csv` output.
+
+        Round-trips everything :meth:`to_csv` writes (timestamps at
+        microsecond precision); the rebuilt trace is finished, so it can be
+        queried and rendered but not recorded into.
+        """
+        trace = cls()
+        lines = [line for line in text.splitlines() if line.strip()]
+        for line in lines[1:]:  # skip the header row
+            process, state, start, end = line.split(",")
+            trace._intervals.append(
+                StateInterval(process, state, float(start), float(end))
+            )
+        trace._finished = True
+        return trace
+
     def ascii_gantt(self, *, width: int = 80) -> str:
         """Coarse ASCII rendering of the timeline (one row per process)."""
         end = self.end_time()

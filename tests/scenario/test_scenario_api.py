@@ -215,9 +215,10 @@ class TestCliShrinkOverrides:
         # partition nor any failure victims survive, and the CLI says so.
         code = cli_main(["run", "late-joiner", "--workers", "2"])
         assert code == 0
-        out = capsys.readouterr().out
-        assert "failure semantics changed" in out
-        assert re.search(r"solved_correctly\s*: yes", out)
+        captured = capsys.readouterr()
+        # The shrink note goes through the repro.* logger (stderr), not stdout.
+        assert "failure semantics changed" in captured.err
+        assert re.search(r"solved_correctly\s*: yes", captured.out)
 
 
 class TestReviewRegressions:

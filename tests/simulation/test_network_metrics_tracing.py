@@ -234,3 +234,57 @@ class TestTimelineTrace:
 
     def test_empty_gantt(self):
         assert "empty" in TimelineTrace().ascii_gantt()
+
+
+class TestTimelineTraceEdges:
+    def test_zero_length_interval_is_dropped(self):
+        # Two transitions at the same instant: the zero-length first state
+        # must not produce an interval, and the second state owns the time.
+        trace = TimelineTrace()
+        trace.set_state("p0", "working", 1.0)
+        trace.set_state("p0", "recovery", 1.0)
+        trace.finish(2.0)
+        intervals = trace.intervals("p0")
+        assert [i.state for i in intervals] == ["recovery"]
+        assert intervals[0].duration == pytest.approx(1.0)
+
+    def test_finish_at_open_time_drops_zero_length_tail(self):
+        trace = TimelineTrace()
+        trace.set_state("p0", "working", 0.0)
+        trace.set_state("p0", "idle", 3.0)
+        trace.finish(3.0)
+        assert [i.state for i in trace.intervals("p0")] == ["working"]
+
+    def test_out_of_order_set_state_does_not_corrupt(self):
+        # A transition stamped *before* the open interval's start must not
+        # emit a negative-duration interval; the new state simply takes
+        # over from its own (earlier) timestamp.
+        trace = TimelineTrace()
+        trace.set_state("p0", "working", 5.0)
+        trace.set_state("p0", "idle", 3.0)
+        trace.finish(10.0)
+        intervals = trace.intervals("p0")
+        assert all(i.duration >= 0 for i in intervals)
+        assert [i.state for i in intervals] == ["idle"]
+        assert intervals[0].start == 3.0 and intervals[0].end == 10.0
+
+    def test_csv_round_trip(self):
+        trace = TimelineTrace()
+        trace.set_state("p0", "working", 0.0)
+        trace.set_state("p0", "idle", 1.25)
+        trace.set_state("p1", "recovery", 0.5)
+        trace.finish(2.0)
+        rebuilt = TimelineTrace.from_csv(trace.to_csv())
+        assert rebuilt.to_rows() == trace.to_rows()
+        assert rebuilt.processes() == trace.processes()
+        assert rebuilt.end_time() == pytest.approx(trace.end_time())
+        # The rebuilt trace is finished: queries work, recording does not.
+        with pytest.raises(RuntimeError):
+            rebuilt.set_state("p0", "working", 3.0)
+
+    def test_empty_csv_round_trip(self):
+        empty = TimelineTrace()
+        empty.finish(0.0)
+        rebuilt = TimelineTrace.from_csv(empty.to_csv())
+        assert rebuilt.to_rows() == []
+        assert "empty" in rebuilt.ascii_gantt()
