@@ -15,8 +15,8 @@ down by default and reports the effective size.  Environment variables:
 Performance-regression workflow (tracked trajectory)
 ----------------------------------------------------
 ``bench_core_micro.py``, ``bench_wire_codec.py``, ``bench_delta_gossip.py``,
-``bench_scenario_overhead.py``, ``bench_telemetry_overhead.py`` and
-``bench_scale.py`` (the tuple
+``bench_scenario_overhead.py``, ``bench_telemetry_overhead.py``,
+``bench_scale.py`` and ``bench_churn.py`` (the tuple
 ``BENCH_FILES`` in ``compare_baseline.py``) are additionally tracked against
 a checked-in baseline so PRs touching the hot paths can show their effect:
 

@@ -43,6 +43,7 @@ BENCH_FILES = (
     HERE / "bench_scenario_overhead.py",
     HERE / "bench_telemetry_overhead.py",
     HERE / "bench_scale.py",
+    HERE / "bench_churn.py",
 )
 
 #: Where the tracked-benchmark set is documented.  When a tracked benchmark

@@ -86,6 +86,27 @@ class AlgorithmConfig:
     #: Prefer donating shallow (large) subproblems.
     lb_prefer_shallow: bool = True
 
+    # ----------------------- failure detection (churn) -------------------- #
+    #: Run the counter-based epidemic failure detector (van Renesse et al.)
+    #: inside every worker: heartbeat gossip rounds, staleness-driven peer
+    #: eviction, and incarnation-based readmission of restarted workers.
+    #: Off by default — the scenario layer enables it for churn runs; the
+    #: non-churn seeded runs stay byte-identical with it disabled.
+    failure_detector: bool = False
+    #: Interval between heartbeat increments/gossip rounds (s).
+    fd_heartbeat_interval: float = 0.5
+    #: A peer whose heartbeat has not increased for this long is suspected.
+    fd_fail_timeout: float = 2.0
+    #: A suspected peer is evicted after this long without an increase.
+    fd_cleanup_timeout: float = 4.0
+    #: Heartbeat-gossip fanout per round.
+    fd_fanout: int = 1
+    #: A terminated worker answers late traffic with one root report per
+    #: sender, so a worker rejoining after global termination converges
+    #: immediately instead of idling until its own caps fire.  Enabled
+    #: together with the failure detector on churn runs.
+    termination_echo: bool = False
+
     # ----------------------- fault tolerance ------------------------------ #
     #: Consecutive unsuccessful work requests before loss is suspected.
     recovery_failed_threshold: int = 4
@@ -148,6 +169,13 @@ class AlgorithmConfig:
             raise ValueError("timeouts must be positive")
         if self.recovery_failed_threshold < 1:
             raise ValueError("recovery_failed_threshold must be at least 1")
+        if self.failure_detector:
+            if self.fd_heartbeat_interval <= 0:
+                raise ValueError("fd_heartbeat_interval must be positive")
+            if self.fd_fail_timeout <= 0 or self.fd_cleanup_timeout < self.fd_fail_timeout:
+                raise ValueError("fd_cleanup_timeout must be >= fd_fail_timeout > 0")
+            if self.fd_fanout < 1:
+                raise ValueError("fd_fanout must be at least 1")
         if self.granularity < 0:
             raise ValueError("granularity must be non-negative")
 

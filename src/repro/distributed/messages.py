@@ -43,6 +43,7 @@ __all__ = [
     "TableGossipMsg",
     "DeltaGossipMsg",
     "TableGossipAck",
+    "HeartbeatGossipMsg",
     "MessageKinds",
 ]
 
@@ -164,6 +165,33 @@ class TableGossipAck:
         return _HEADER_BYTES + 2 * _DIGEST_BYTES + self.best.wire_size()
 
 
+@dataclass(frozen=True, slots=True)
+class HeartbeatGossipMsg:
+    """One failure-detection gossip round (van Renesse-style heartbeats).
+
+    ``digest`` is the sender's heartbeat table as ``(member, counter)``
+    pairs; ``incarnations`` carries the *non-zero* incarnation numbers the
+    sender knows (sparse — a worker that never restarted is omitted), which
+    is how a rejoining worker's reset heartbeat counter is distinguished
+    from a stale one.  Like every frequently sent message, it piggy-backs
+    the sender's incumbent.
+    """
+
+    sender: str
+    digest: Tuple[Tuple[str, int], ...]
+    incarnations: Tuple[Tuple[str, int], ...] = ()
+    best: BestSolution = field(default_factory=BestSolution)
+
+    def wire_size(self) -> int:
+        """Header + 12 bytes per digest entry + 6 per incarnation entry."""
+        return (
+            _HEADER_BYTES
+            + 12 * len(self.digest)
+            + 6 * len(self.incarnations)
+            + self.best.wire_size()
+        )
+
+
 class MessageKinds:
     """Canonical kind labels used by the traffic counters and traces."""
 
@@ -175,6 +203,7 @@ class MessageKinds:
     DELTA_GOSSIP = "delta_gossip"
     GOSSIP_ACK = "gossip_ack"
     ROOT_REPORT = "root_report"
+    HEARTBEAT = "heartbeat"
 
     #: Kinds that carry table-dissemination traffic (the delta-gossip
     #: benchmark compares the byte volume of exactly this family).
@@ -199,4 +228,6 @@ class MessageKinds:
             return MessageKinds.DELTA_GOSSIP
         if isinstance(payload, TableGossipAck):
             return MessageKinds.GOSSIP_ACK
+        if isinstance(payload, HeartbeatGossipMsg):
+            return MessageKinds.HEARTBEAT
         return "unknown"

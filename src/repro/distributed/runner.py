@@ -11,7 +11,7 @@ the examples and most benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..bnb.basic_tree import BasicTree
 from ..bnb.problem import BranchAndBoundProblem
@@ -20,7 +20,7 @@ from ..core.arena import TrieArena
 from ..obs import MetricsRegistry, Telemetry, TelemetryConfig, Tracer
 from ..obs.ingest import ingest_run_result
 from ..simulation.engine import SimulationEngine
-from ..simulation.failures import CrashEvent, FailureInjector
+from ..simulation.failures import ChurnInjector, CrashEvent, FailureInjector
 from ..simulation.metrics import MetricsCollector
 from ..simulation.network import LatencyModel, Network, Partition, TrafficStats
 from ..simulation.rng import RngRegistry
@@ -118,6 +118,7 @@ def assemble_run_result(
         "table_gossips": 0,
         "delta_gossips": 0,
         "gossip_acks": 0,
+        "heartbeats": 0,
     }
     counters = dict(engine_counters) if engine_counters else {}
     entity_steps = 0
@@ -130,6 +131,7 @@ def assemble_run_result(
         messages_by_kind["table_gossips"] += stats.table_gossips_sent
         messages_by_kind["delta_gossips"] += stats.delta_gossips_sent
         messages_by_kind["gossip_acks"] += stats.gossip_acks_sent
+        messages_by_kind["heartbeats"] += stats.heartbeats_sent
         entity_steps += stats.entity_steps
     counters["entity_steps"] = entity_steps
 
@@ -177,6 +179,9 @@ class DistributedBnBSimulation:
         max_events: Optional[int] = None,
         use_arena: bool = True,
         telemetry: Optional[TelemetryConfig] = None,
+        churn_events: Sequence[Tuple[float, str, str]] = (),
+        churn_mode: str = "restart",
+        worker_speeds: Optional[Mapping[str, float]] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be at least 1")
@@ -203,6 +208,15 @@ class DistributedBnBSimulation:
         self.metrics = MetricsCollector()
         self.trace: Optional[TimelineTrace] = TimelineTrace() if enable_trace else None
         self.injector = FailureInjector(self.failures)
+        #: Non-permanent leave/return schedule (churn); a return resets the
+        #: stop-condition scan because a rejoined worker is no longer
+        #: terminated (the scan's monotonicity assumption briefly breaks).
+        self.worker_speeds: Dict[str, float] = dict(worker_speeds or {})
+        self.churn_injector: Optional[ChurnInjector] = (
+            ChurnInjector(churn_events, mode=churn_mode, on_return=self._on_churn_return)
+            if churn_events
+            else None
+        )
 
         # Run-wide telemetry (repro.obs).  Tracing needs per-worker state
         # intervals, so it forces an internal TimelineTrace even when the
@@ -215,6 +229,12 @@ class DistributedBnBSimulation:
             self.tracer = Tracer(process="engine")
             if self._worker_timeline is None:
                 self._worker_timeline = TimelineTrace()
+        # When metrics are requested the registry exists *before* the run so
+        # workers can observe histograms (gossip delta sizes, eviction
+        # latencies) into it live; ingestion at the end reuses it.
+        self.obs_registry: Optional[MetricsRegistry] = (
+            MetricsRegistry() if telemetry is not None and telemetry.metrics else None
+        )
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -256,21 +276,34 @@ class DistributedBnBSimulation:
                 expected_node_cost=self.expected_node_cost,
                 arena=arena,
                 tracer=self.tracer,
+                speed=self.worker_speeds.get(name, 1.0),
+                obs_metrics=self.obs_registry,
             )
             self.net.register(worker)
             self.workers.append(worker)
 
         self.injector.install(self.engine, self.net)
+        if self.churn_injector is not None:
+            self.churn_injector.install(self.engine, self.net)
         return self
 
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
+    def _on_churn_return(self, name: str) -> None:
+        # A rejoined worker may be un-terminated again: restart the
+        # otherwise-monotone stop scan from the beginning.
+        self._stop_scan = 0
+
     def _stop_condition(self) -> bool:
         # Evaluated after every event, so the naive all()-scan would cost
         # O(workers) per event.  "Dead or terminated" is monotone — a worker
         # that passed the test once passes it forever — so scanning resumes
         # where the last call found its counterexample: O(1) amortised.
+        # (Churn breaks monotonicity at each return event, which resets the
+        # scan; while a return is still pending the run must not stop.)
+        if self.churn_injector is not None and self.churn_injector.pending_returns > 0:
+            return False
         workers = self.workers
         i = self._stop_scan
         n = len(workers)
@@ -354,7 +387,10 @@ class DistributedBnBSimulation:
                     )
         metrics: Optional[MetricsRegistry] = None
         if cfg.metrics:
-            metrics = ingest_run_result(MetricsRegistry(), result)
+            metrics = ingest_run_result(
+                self.obs_registry if self.obs_registry is not None else MetricsRegistry(),
+                result,
+            )
         return Telemetry(
             tracer=tracer,
             metrics=metrics,
@@ -402,6 +438,9 @@ def run_tree_simulation(
     shards: int = 1,
     shard_processes: Optional[bool] = None,
     telemetry: Optional[TelemetryConfig] = None,
+    churn_events: Sequence[Tuple[float, str, str]] = (),
+    churn_mode: str = "restart",
+    worker_speeds: Optional[Mapping[str, float]] = None,
 ) -> RunResult:
     """Run the distributed algorithm on a basic tree and return the result.
 
@@ -427,6 +466,11 @@ def run_tree_simulation(
         raise ValueError(
             f"cannot split {n_workers} worker(s) across {shards} shards: "
             "each shard needs at least one worker (reduce --shards or raise workers)"
+        )
+    if shards > 1 and (churn_events or worker_speeds):
+        raise ValueError(
+            "churn/worker speeds are not supported with shards > 1 "
+            "(the failure detector and rejoin path need the single-process engine)"
         )
     if uniprocessor_time is None and compute_uniprocessor_time:
         uniprocessor_time = sequential_reference_time(tree, granularity=granularity, prune=prune)
@@ -468,5 +512,8 @@ def run_tree_simulation(
         max_events=max_events,
         use_arena=use_arena,
         telemetry=telemetry,
+        churn_events=churn_events,
+        churn_mode=churn_mode,
+        worker_speeds=worker_speeds,
     )
     return sim.run()

@@ -49,6 +49,19 @@ class WorkerRunStats:
     #: Steps that skipped the message/report machinery entirely (empty inbox,
     #: nothing due) via the worker's dirty-flag fast path.
     fast_path_steps: int = 0
+    # ----- churn & live failure detection --------------------------------- #
+    #: Heartbeat-gossip rounds this worker sent.
+    heartbeats_sent: int = 0
+    #: Peers evicted because their heartbeat went stale (live detection).
+    peers_evicted: int = 0
+    #: Peers readmitted after eviction or restart (rejoin handling).
+    peers_readmitted: int = 0
+    #: Churn leaves this worker suffered (suspend/restart departures).
+    leaves: int = 0
+    #: Churn returns this worker completed (revivals).
+    rejoins: int = 0
+    #: Total simulated time this worker spent unavailable to churn.
+    unavailable_time: float = 0.0
     #: Total scheduled entity steps this worker executed (scale diagnostics).
     entity_steps: int = 0
     crashed: bool = False
@@ -83,6 +96,12 @@ class WorkerRunStats:
             "recovery_aborted": self.recovery_aborted,
             "redundant_expansions": self.redundant_expansions,
             "fast_path_steps": self.fast_path_steps,
+            "heartbeats_sent": self.heartbeats_sent,
+            "peers_evicted": self.peers_evicted,
+            "peers_readmitted": self.peers_readmitted,
+            "leaves": self.leaves,
+            "rejoins": self.rejoins,
+            "unavailable_time": self.unavailable_time,
             "entity_steps": self.entity_steps,
             "crashed": self.crashed,
             "crashed_at": self.crashed_at,

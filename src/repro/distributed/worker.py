@@ -46,12 +46,14 @@ from ..core.encoding import PathCode
 from ..core.recovery import RecoveryPolicy
 from ..core.termination import TerminationDetector, make_root_report
 from ..core.work_report import BestSolution
+from ..gossip.failure_detector import GossipFailureDetector
 from ..simulation.entity import Entity, QueuedMessage
 from ..simulation.metrics import MetricsCollector
 from ..simulation.tracing import TimelineTrace
 from .config import AlgorithmConfig
 from .messages import (
     DeltaGossipMsg,
+    HeartbeatGossipMsg,
     MessageKinds,
     TableGossipAck,
     TableGossipMsg,
@@ -62,7 +64,10 @@ from .messages import (
 )
 from .stats import WorkerRunStats
 
-__all__ = ["PeerRoster", "WorkerEntity"]
+__all__ = ["PeerRoster", "WorkerEntity", "DELTA_BYTES_BUCKETS"]
+
+#: Histogram buckets for gossip-delta wire sizes (bytes).
+DELTA_BYTES_BUCKETS = (64, 256, 1024, 4096, 16384, 65536)
 
 
 class PeerRoster(_SequenceABC):
@@ -127,6 +132,12 @@ class PeerRoster(_SequenceABC):
     def remove(self, name: str) -> None:
         self._list().remove(name)
 
+    def add(self, name: str) -> None:
+        """Re-admit a previously removed peer (appended at the end)."""
+        if name == self._owner or name in self:
+            return
+        self._list().append(name)
+
     def __eq__(self, other: object) -> bool:
         if isinstance(other, PeerRoster):
             other = list(other)
@@ -186,6 +197,8 @@ class WorkerEntity(Entity):
         expected_node_cost: float = 0.0,
         arena: Optional[TrieArena] = None,
         tracer: Optional[Any] = None,
+        speed: float = 1.0,
+        obs_metrics: Optional[Any] = None,
     ) -> None:
         super().__init__(name)
         self.problem = problem
@@ -202,6 +215,24 @@ class WorkerEntity(Entity):
         #: Optional :class:`repro.obs.Tracer` for gossip/recovery telemetry
         #: (``None`` keeps the hot paths on one attribute check).
         self.tracer = tracer
+        #: Relative machine speed: node-expansion cost divides by this, so a
+        #: 2.0 worker models a machine twice as fast as the calibration host.
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        self.speed = speed
+        #: Optional :class:`repro.obs.MetricsRegistry` shared across the run.
+        #: Histograms are resolved once here so the observe sites stay cheap.
+        self.obs_metrics = obs_metrics
+        self._delta_bytes_hist = (
+            obs_metrics.histogram("gossip_delta_bytes", buckets=DELTA_BYTES_BUCKETS)
+            if obs_metrics is not None
+            else None
+        )
+        self._eviction_latency_hist = (
+            obs_metrics.histogram("fd_eviction_latency_seconds")
+            if obs_metrics is not None
+            else None
+        )
 
         # Algorithm state ------------------------------------------------- #
         self.expander = NodeExpander(problem)
@@ -243,6 +274,26 @@ class WorkerEntity(Entity):
         #: Time at which this worker first found itself starved with nothing
         #: known about the computation (used by the bootstrap gate).
         self._starved_blank_since: Optional[float] = None
+
+        # Churn / failure detection state ---------------------------------- #
+        #: Restart count: bumped by :meth:`reset_for_rejoin`, gossiped so
+        #: peers can distinguish a restarted worker's reset heartbeat counter
+        #: from a stale one.
+        self.incarnation = 0
+        #: Highest incarnation observed per member (sparse: zero omitted).
+        self._known_incarnations: Dict[str, int] = {}
+        #: Live failure detector (created in :meth:`on_start` when
+        #: ``config.failure_detector`` is on).
+        self._fd: Optional[GossipFailureDetector] = None
+        #: Sequence guard for the ``fd-tick`` timer chain (a revival arms a
+        #: fresh chain; stale timers carry an old sequence and are ignored).
+        self._fd_seq = 0
+        #: ``gossip_views_pruned`` accumulated by trackers discarded on
+        #: restart (the live tracker's counter restarts from zero).
+        self._views_pruned_base = 0
+        #: Recovery activations accumulated by policies discarded on restart.
+        self._recoveries_base = 0
+        self._unavailable_since: Optional[float] = None
 
     # ------------------------------------------------------------------ #
     # Small helpers
@@ -317,8 +368,128 @@ class WorkerEntity(Entity):
             self.peers.remove(peer)
             removed = True
         pruned = self.tracker.prune_peer_view(peer)
-        self.stats.gossip_views_pruned = self.tracker.gossip_views_pruned
+        self._sync_views_pruned()
         return removed or pruned
+
+    def _sync_views_pruned(self) -> None:
+        self.stats.gossip_views_pruned = (
+            self._views_pruned_base + self.tracker.gossip_views_pruned
+        )
+
+    # ------------------------------------------------------------------ #
+    # Live failure detection (heartbeat gossip)
+    # ------------------------------------------------------------------ #
+    def _start_failure_detector(self) -> None:
+        """Create the heartbeat detector, pre-seeded with the full roster."""
+        cfg = self.config
+        self._fd = GossipFailureDetector(
+            self.name,
+            fail_timeout=cfg.fd_fail_timeout,
+            cleanup_timeout=cfg.fd_cleanup_timeout,
+            gossip_interval=cfg.fd_heartbeat_interval,
+            fanout=cfg.fd_fanout,
+            rng=self.rng,
+        )
+        now = self._now()
+        self._fd.merge(
+            tuple((member, 0) for member in self.members if member != self.name), now
+        )
+        self._arm_fd_timer()
+
+    def _arm_fd_timer(self) -> None:
+        self._fd_seq += 1
+        self.set_timer(self.config.fd_heartbeat_interval, f"fd-tick:{self._fd_seq}")
+
+    def _incarnation_digest(self) -> Tuple[Tuple[str, int], ...]:
+        """Sparse ``(member, incarnation)`` pairs (only non-zero entries)."""
+        if not self._known_incarnations:
+            return ()
+        return tuple(sorted(self._known_incarnations.items()))
+
+    def _membership_round(self) -> float:
+        """One heartbeat round: tick, gossip, and evict stale peers."""
+        fd = self._fd
+        assert fd is not None
+        now = self._now()
+        digest = fd.tick(now)
+        cost = 0.0
+        targets = fd.choose_targets(now)
+        if targets:
+            message = HeartbeatGossipMsg(
+                sender=self.name,
+                digest=digest,
+                incarnations=self._incarnation_digest(),
+                best=self._my_best(),
+            )
+            for target in targets:
+                self.send(target, message)
+                cost += self._charge("communication", self.config.msg_send_cost)
+            self.stats.heartbeats_sent += 1
+        # Staleness must be read *before* cleanup deletes the entries.
+        stale = {name: fd.staleness(name, now) for name in fd.suspected(now)}
+        for peer in fd.cleanup(now):
+            if not self.evict_peer(peer):
+                continue
+            self.stats.peers_evicted += 1
+            if self._eviction_latency_hist is not None:
+                staleness = stale.get(peer)
+                if staleness is not None:
+                    self._eviction_latency_hist.observe(staleness)
+            if self.tracer is not None:
+                self.tracer.event(
+                    "peer_evicted",
+                    ts=now,
+                    process=self.name,
+                    category="membership",
+                    args={"peer": peer},
+                )
+        return cost
+
+    def _readmit_peer(self, peer: str) -> None:
+        """Put an evicted (or restarted) peer back on the target lists."""
+        if peer == self.name or peer in self.peers or peer not in self.members:
+            return
+        self.peers.add(peer)
+        self.stats.peers_readmitted += 1
+        if self.tracer is not None:
+            self.tracer.event(
+                "peer_readmitted",
+                ts=self._now(),
+                process=self.name,
+                category="membership",
+                args={"peer": peer},
+            )
+
+    def _on_peer_restarted(self, peer: str, now: float) -> None:
+        """A peer restarted (higher incarnation): reset everything we knew.
+
+        The restarted process lost its completed-table view, so the per-peer
+        acknowledged basis must be dropped — the next delta to it goes
+        through the gossip *first-contact* path (one bounded full-basis
+        delta), never a whole-table snapshot.  Its heartbeat counter also
+        restarted from zero, which plain digest merging would read as stale.
+        """
+        self.tracker.prune_peer_view(peer)
+        self._sync_views_pruned()
+        if self._fd is not None:
+            self._fd.restart_member(peer, now)
+        self._readmit_peer(peer)
+
+    def _handle_heartbeat(self, msg: HeartbeatGossipMsg, receive_cost: float) -> float:
+        cost = self._charge("communication", receive_cost)
+        fd = self._fd
+        if fd is None:
+            return cost
+        now = self._now()
+        for name, incarnation in msg.incarnations:
+            if name == self.name:
+                continue
+            if incarnation > self._known_incarnations.get(name, 0):
+                self._known_incarnations[name] = incarnation
+                self._on_peer_restarted(name, now)
+        for name in fd.merge(msg.digest, now):
+            self._readmit_peer(name)
+        return cost
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -328,6 +499,8 @@ class WorkerEntity(Entity):
             self.pool.push(sub, bound=self.problem.bound(sub.state))
         self._last_table_gossip = self._now()
         self._trace_state("idle" if not self.pool else "working")
+        if self.config.failure_detector:
+            self._start_failure_detector()
         self._schedule_step(0.0)
 
     def on_crash(self) -> None:
@@ -335,12 +508,123 @@ class WorkerEntity(Entity):
         self.stats.crashed_at = self._now()
         self._trace_state("crashed")
 
+    def on_suspend(self) -> None:
+        """Churn leave: go dark (messages drop, timers die) but survivably."""
+        now = self._now()
+        self.stats.leaves += 1
+        self._unavailable_since = now
+        # Until (unless) the worker returns, it is indistinguishable from a
+        # crashed one — result aggregation treats it accordingly.
+        self.stats.crashed = True
+        self.stats.crashed_at = now
+        self._trace_state("offline")
+        if self.tracer is not None:
+            self.tracer.event(
+                "churn_leave", ts=now, process=self.name, category="churn"
+            )
+
+    def on_revive(self) -> None:
+        """Churn return: close the unavailability window and resume."""
+        now = self._now()
+        self.stats.rejoins += 1
+        self.stats.crashed = False
+        self.stats.crashed_at = None
+        if self._unavailable_since is not None:
+            self.stats.unavailable_time += now - self._unavailable_since
+            self._unavailable_since = None
+        # Every timer chain died while the entity was down (set_timer guards
+        # on ``alive``), so the scheduling flags they maintained are stale.
+        self._step_scheduled = False
+        self._idle_poll_armed = False
+        self._idle_since = None
+        self._outstanding_request = None
+        self._last_lb_attempt = None
+        self._starved_blank_since = None
+        self._last_table_gossip = now
+        if self.config.failure_detector:
+            if self._fd is None:
+                self._start_failure_detector()
+            else:
+                # Suspend-mode return: our heartbeat view of every peer is
+                # uniformly stale.  Give the whole roster a fresh grace
+                # period (counter reset to 0 so any real digest refreshes
+                # it) instead of mass-evicting on the first tick back.
+                for peer in list(self._fd.members()):
+                    if peer != self.name:
+                        self._fd.restart_member(peer, now)
+                self._arm_fd_timer()
+        self._trace_state("idle")
+        if self.tracer is not None:
+            self.tracer.event(
+                "churn_return", ts=now, process=self.name, category="churn"
+            )
+        if not self.terminated:
+            self._schedule_step(0.0)
+
+    def reset_for_rejoin(self) -> None:
+        """Wipe volatile algorithm state before a ``restart``-mode revival.
+
+        Models a reboot: the pool, the completed-table view, termination
+        state and the incumbent are all lost; only identity, accumulated
+        statistics and the shared arena survive.  The incarnation bump is
+        what tells peers (via heartbeat gossip) to reset their view of us,
+        so our re-convergence rides the delta-gossip first-contact path.
+        """
+        self.incarnation += 1
+        self._known_incarnations[self.name] = self.incarnation
+        self._views_pruned_base += self.tracker.gossip_views_pruned
+        self._recoveries_base += self.recovery.stats.activations
+        arena = self.tracker.arena
+        self.pool = SubproblemPool(
+            self.config.selection_rule, minimize=self.problem.minimize
+        )
+        self.tracker = CompletionTracker(
+            self.name,
+            report_threshold=self.config.report_threshold,
+            report_staleness=self.config.report_staleness,
+            arena=arena,
+        )
+        self.termination = TerminationDetector(self.tracker)
+        self.recovery = RecoveryPolicy(
+            failed_request_threshold=self.config.recovery_failed_threshold,
+            idle_time_threshold=self.config.recovery_idle_threshold,
+            strategy=self.config.recovery_strategy,
+            rng=self.rng,
+        )
+        self.incumbent = BestSolution()
+        # A restarted worker re-reads the full membership list (the paper's
+        # join-time gossip-server handshake): evictions it made before the
+        # restart are forgotten with the rest of its volatile state.
+        self.peers = PeerRoster(self.members, self.name)
+        self._fd = None
+        self._finished = False
+        self.stats.terminated = False
+        self.stats.terminated_at = None
+        self.stats.terminated_via = None
+
     def on_message_queued(self, message: QueuedMessage) -> None:
         # A worker busy expanding nodes leaves the message in its queue until
         # the current expansion finishes (a step is already scheduled).  An
         # idle worker reacts immediately.
         if self.alive and not self.terminated and not self._step_scheduled:
             self._schedule_step(0.0)
+        elif (
+            self.alive
+            and self.terminated
+            and self.config.termination_echo
+            and not isinstance(message.payload, (WorkReportMsg, TableGossipAck))
+        ):
+            # Termination echo: a terminated worker answers late traffic (a
+            # rejoined worker bootstrapping) with the final root report, so
+            # the sender converges immediately instead of re-deriving
+            # termination alone.  Never echo a report (two terminated
+            # workers would ping-pong root reports forever) or an ack.
+            self.inbox.clear()
+            self.send(
+                message.sender,
+                WorkReportMsg(make_root_report(self.name, best=self._my_best())),
+            )
+            self._charge("communication", self.config.msg_send_cost)
 
     def on_wakeup(self, reason: str) -> None:
         if not self.alive or self.terminated:
@@ -359,6 +643,11 @@ class WorkerEntity(Entity):
             self._idle_poll_armed = False
             if not self._step_scheduled:
                 self._schedule_step(0.0)
+        elif reason.startswith("fd-tick:"):
+            seq = int(reason.split(":", 1)[1])
+            if self._fd is not None and seq == self._fd_seq:
+                self._membership_round()
+                self._arm_fd_timer()
 
     # ------------------------------------------------------------------ #
     # Step scheduling
@@ -492,13 +781,16 @@ class WorkerEntity(Entity):
         for child, child_bound in outcome.children:
             self.pool.push(child, bound=child_bound)
 
-        if outcome.cost > 0:
+        # Heterogeneous machine speeds: a faster worker spends less simulated
+        # time on the same node (the cost model is calibrated at speed 1.0).
+        cost = outcome.cost if self.speed == 1.0 else outcome.cost / self.speed
+        if cost > 0:
             if self._avg_node_cost <= 0:
-                self._avg_node_cost = outcome.cost
+                self._avg_node_cost = cost
             else:
-                self._avg_node_cost = 0.9 * self._avg_node_cost + 0.1 * outcome.cost
+                self._avg_node_cost = 0.9 * self._avg_node_cost + 0.1 * cost
 
-        return self._charge("bb", outcome.cost)
+        return self._charge("bb", cost)
 
     # ------------------------------------------------------------------ #
     # Message processing
@@ -545,6 +837,8 @@ class WorkerEntity(Entity):
                 # The acker's table equals ours: it covers everything we have.
                 self.tracker.note_peer_converged(payload.sender)
             return self._charge("communication", receive_cost)
+        if isinstance(payload, HeartbeatGossipMsg):
+            return self._handle_heartbeat(payload, receive_cost)
         # Unknown payloads (e.g. membership gossip when layered) are charged
         # as plain communication handling.
         return self._charge("communication", receive_cost)
@@ -858,6 +1152,8 @@ class WorkerEntity(Entity):
                 return 0.0
             self.send(target, DeltaGossipMsg(delta))
             self.stats.delta_gossips_sent += 1
+            if self._delta_bytes_hist is not None:
+                self._delta_bytes_hist.observe(delta.wire_size())
             gossip_kind = "delta_gossip"
         else:
             snapshot = self.tracker.build_table_snapshot(best=self._my_best())
@@ -925,9 +1221,18 @@ class WorkerEntity(Entity):
         """Fill in the derived fields of the per-worker statistics."""
         self.stats.nodes_pruned = self.expander.nodes_pruned
         self.stats.best_value = self.incumbent.value
-        self.stats.recovery_activations = self.recovery.stats.activations
-        self.stats.gossip_views_pruned = self.tracker.gossip_views_pruned
+        self.stats.recovery_activations = (
+            self._recoveries_base + self.recovery.stats.activations
+        )
+        self._sync_views_pruned()
         self.stats.entity_steps = self._steps
+        if self._unavailable_since is not None:
+            # Left and never returned: close the window at the crash time so
+            # unavailable-time accounting does not silently lose the tail.
+            self.stats.unavailable_time += max(
+                0.0, self._now() - self._unavailable_since
+            )
+            self._unavailable_since = None
         if self._steps:
             self.metrics.count(self.name, "entity_steps", self._steps)
         account = self.metrics.time.get(self.name)

@@ -112,13 +112,23 @@ class GossipFailureDetector:
         entry = self._table[self.owner]
         entry.heartbeat += 1
         entry.last_increase = now
-        return self.digest()
+        return self.digest(now)
 
-    def digest(self) -> HeartbeatDigest:
-        """Wire representation of the heartbeat table."""
+    def digest(self, now: Optional[float] = None) -> HeartbeatDigest:
+        """Wire representation of the heartbeat table.
+
+        When ``now`` is given, entries already suspected (stale beyond
+        ``fail_timeout``) are *excluded* — van Renesse's rule that failed
+        members are not gossiped onward.  Without it a dead member's last
+        counter keeps circulating, gets re-admitted as "new" by peers that
+        already cleaned it up, and is evicted over and over.
+        """
         return tuple(
             (entry.name, entry.heartbeat)
             for entry in sorted(self._table.values(), key=lambda e: e.name)
+            if now is None
+            or entry.name == self.owner
+            or (now - entry.last_increase) <= self.fail_timeout
         )
 
     def digest_wire_size(self) -> int:
@@ -178,6 +188,35 @@ class GossipFailureDetector:
     def members(self) -> List[str]:
         """Every member currently in the table."""
         return sorted(self._table)
+
+    def staleness(self, name: str, now: float) -> Optional[float]:
+        """Seconds since ``name``'s heartbeat last increased (``None`` if unknown)."""
+        entry = self._table.get(name)
+        if entry is None:
+            return None
+        return now - entry.last_increase
+
+    def heartbeat_of(self, name: str) -> Optional[int]:
+        """Current heartbeat counter known for ``name`` (``None`` if unknown)."""
+        entry = self._table.get(name)
+        return entry.heartbeat if entry is not None else None
+
+    def restart_member(self, name: str, now: float) -> None:
+        """Reset (or re-admit) a member that restarted with a new incarnation.
+
+        A restarted process begins counting heartbeats from zero, which the
+        plain :meth:`merge` rule (``heartbeat > entry.heartbeat``) would
+        discard as stale.  When a higher incarnation number proves a
+        restart, the caller resets the entry so the newcomer's low counters
+        read as fresh again.
+        """
+        entry = self._table.get(name)
+        if entry is None:
+            self._table[name] = HeartbeatEntry(name, heartbeat=0, last_increase=now)
+            self._names.append(name)
+        else:
+            entry.heartbeat = 0
+            entry.last_increase = now
 
     def choose_targets(self, now: float) -> List[str]:
         """Pick gossip targets among currently alive members.

@@ -52,6 +52,10 @@ _WORKER_COUNTERS = (
     "work_requests_sent",
     "work_grants_sent",
     "work_denials_sent",
+    "heartbeats_sent",
+    "peers_evicted",
+    "leaves",
+    "rejoins",
     "recovery_activations",
     "recovery_aborted",
     "redundant_expansions",

@@ -12,6 +12,8 @@ performance evaluation belongs to the simulator — but it closes the loop on
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import signal
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -35,6 +37,12 @@ class LocalClusterResult:
     n_workers: int
     outcomes: Dict[str, WorkerOutcome] = field(default_factory=dict)
     killed: List[str] = field(default_factory=list)
+    #: Workers that left through churn and returned (rejoined) during the run.
+    rejoined: List[str] = field(default_factory=list)
+    #: Workers that left through churn and never returned.
+    churned_out: List[str] = field(default_factory=list)
+    #: Total worker-seconds spent unavailable to churn (wall clock).
+    unavailable_time: float = 0.0
     wall_time: float = 0.0
     reference_optimum: Optional[float] = None
     #: Transport the cluster ran on (``pipe`` or ``uds``).
@@ -49,19 +57,29 @@ class LocalClusterResult:
     #: the cluster ran with telemetry enabled; ``None`` otherwise.
     telemetry: Optional[Telemetry] = None
 
+    def _departed(self) -> set:
+        """Workers excluded from the surviving set (killed or churned out).
+
+        A worker that was churn-killed and rejoined is *not* departed — its
+        post-rejoin outcome counts like any survivor's.
+        """
+        return set(self.killed) | set(self.churned_out)
+
     @property
     def surviving_terminated(self) -> bool:
         """True when every surviving worker detected termination."""
-        survivors = [o for name, o in self.outcomes.items() if name not in self.killed]
+        departed = self._departed()
+        survivors = [o for name, o in self.outcomes.items() if name not in departed]
         return bool(survivors) and all(o.terminated for o in survivors)
 
     @property
     def best_value(self) -> Optional[float]:
         """Best value reported by any surviving worker."""
+        departed = self._departed()
         values = [
             o.best_value
             for name, o in self.outcomes.items()
-            if name not in self.killed and o.best_value is not None
+            if name not in departed and o.best_value is not None
         ]
         if not values:
             return None
@@ -132,6 +150,31 @@ class LocalCluster:
         self.wire_generations = list(wire_generations) if wire_generations is not None else None
         self.telemetry = telemetry
         self.names = [f"rworker-{i:02d}" for i in range(n_workers)]
+        self._tree_data = None
+
+    def _worker_config(
+        self, index: int, name: str, *, has_root: bool, seed: int, telemetry_on: bool
+    ) -> RealWorkerConfig:
+        """Build one worker's config (shared by initial spawn and rejoin)."""
+        return RealWorkerConfig(
+            name=name,
+            members=tuple(self.names),
+            tree_data=self._tree_data,
+            has_root=has_root,
+            seed=seed,
+            node_sleep=self.node_sleep,
+            max_seconds=self.max_seconds,
+            prune=self.prune,
+            report_threshold=self.report_threshold,
+            report_fanout=self.report_fanout,
+            recovery_failed_threshold=self.recovery_failed_threshold,
+            wire_generation=(
+                self.wire_generations[index]
+                if self.wire_generations is not None
+                else RealWorkerConfig.wire_generation
+            ),
+            telemetry=telemetry_on,
+        )
 
     def run(
         self,
@@ -139,6 +182,8 @@ class LocalCluster:
         kill: Sequence[str] = (),
         kill_after: float = 0.5,
         kill_schedule: Sequence[Tuple[float, Sequence[str]]] = (),
+        churn_schedule: Sequence[Tuple[float, str, str]] = (),
+        churn_mode: str = "restart",
     ) -> LocalClusterResult:
         """Run the cluster, optionally killing workers mid-run.
 
@@ -147,7 +192,19 @@ class LocalCluster:
         ``(delay_seconds, worker_names)`` groups, each fired at its own
         wall-clock offset (the scenario backend maps one ``FailureSpec``
         per group).  Both forms may be combined.
+
+        ``churn_schedule`` is a sequence of ``(delay_seconds, worker,
+        action)`` events with ``action`` in ``{"leave", "return"}`` — the
+        resolved form of a :class:`~repro.scenario.spec.ChurnSpec`.  In
+        ``"suspend"`` mode a leave sends SIGSTOP and a return SIGCONT (the
+        worker resumes with its state intact); in ``"restart"`` mode a leave
+        terminates the process and a return respawns it fresh (``has_root=
+        False``), so the rejoiner must re-converge through the gossip
+        first-contact path.  A worker that leaves and never returns is
+        recorded in :attr:`LocalClusterResult.churned_out`.
         """
+        if churn_mode not in ("restart", "suspend"):
+            raise ValueError(f"unknown churn mode {churn_mode!r}")
         ctx = mp.get_context()
         router = create_router(self.transport)
         driver_handle = router.add_worker("__driver__")
@@ -161,26 +218,13 @@ class LocalCluster:
             tracer = Tracer(process="driver", clock=time.time)
             router.tracer = tracer
 
-        tree_data = self.tree.to_dict()
+        self._tree_data = self.tree.to_dict()
         processes: Dict[str, mp.Process] = {}
         for index, name in enumerate(self.names):
             endpoint = router.add_worker(name)
-            config = RealWorkerConfig(
-                name=name,
-                members=tuple(self.names),
-                tree_data=tree_data,
-                has_root=(index == 0),
-                seed=self.seed + index,
-                node_sleep=self.node_sleep,
-                max_seconds=self.max_seconds,
-                prune=self.prune,
-                report_threshold=self.report_threshold,
-                report_fanout=self.report_fanout,
-                recovery_failed_threshold=self.recovery_failed_threshold,
-                wire_generation=(
-                    self.wire_generations[index] if self.wire_generations is not None else RealWorkerConfig.wire_generation
-                ),
-                telemetry=telemetry_on,
+            config = self._worker_config(
+                index, name, has_root=(index == 0), seed=self.seed + index,
+                telemetry_on=telemetry_on,
             )
             process = ctx.Process(target=worker_main, args=(config, endpoint), daemon=True)
             processes[name] = process
@@ -212,6 +256,75 @@ class LocalCluster:
             + ([(start + kill_after, tuple(kill))] if kill else []),
             key=lambda entry: entry[0],
         )
+        pending_churn: List[Tuple[float, str, str]] = sorted(
+            (start + delay, name, action) for delay, name, action in churn_schedule
+        )
+        churn_down: Dict[str, float] = {}
+        rejoined: List[str] = []
+        unavailable_time = 0.0
+        respawns: Dict[str, int] = {}
+
+        def churn_leave(name: str) -> None:
+            nonlocal unavailable_time
+            process = processes.get(name)
+            if process is None or not process.is_alive() or name in churn_down:
+                return
+            if churn_mode == "suspend":
+                try:
+                    os.kill(process.pid, signal.SIGSTOP)
+                except (ProcessLookupError, OSError):  # pragma: no cover - raced exit
+                    return
+                router.paused.add(name)
+            else:
+                process.terminate()
+                router.remove_worker(name)
+                # Only the post-rejoin incarnation's outcome may count.
+                result.outcomes.pop(name, None)
+            churn_down[name] = time.monotonic()
+            logger.info("churn: %s left (%s)", name, churn_mode)
+            if tracer is not None:
+                tracer.event(
+                    "churn_leave", process="driver", category="churn",
+                    args={"worker": name, "mode": churn_mode},
+                )
+
+        def churn_return(name: str) -> None:
+            nonlocal unavailable_time
+            if name not in churn_down:
+                return
+            process = processes.get(name)
+            if churn_mode == "suspend":
+                if process is None or not process.is_alive():
+                    churn_down.pop(name)
+                    return
+                router.paused.discard(name)
+                try:
+                    os.kill(process.pid, signal.SIGCONT)
+                except (ProcessLookupError, OSError):  # pragma: no cover - raced exit
+                    churn_down.pop(name)
+                    return
+            else:
+                if process is not None:
+                    process.join(timeout=2.0)
+                index = self.names.index(name)
+                respawns[name] = respawns.get(name, 0) + 1
+                endpoint = router.add_worker(name)
+                config = self._worker_config(
+                    index, name, has_root=False,
+                    seed=self.seed + index + 1009 * respawns[name],
+                    telemetry_on=telemetry_on,
+                )
+                fresh = ctx.Process(target=worker_main, args=(config, endpoint), daemon=True)
+                processes[name] = fresh
+                fresh.start()
+            unavailable_time += time.monotonic() - churn_down.pop(name)
+            rejoined.append(name)
+            logger.info("churn: %s returned (%s)", name, churn_mode)
+            if tracer is not None:
+                tracer.event(
+                    "churn_return", process="driver", category="churn",
+                    args={"worker": name, "mode": churn_mode},
+                )
 
         try:
             while time.monotonic() < deadline:
@@ -231,6 +344,14 @@ class LocalCluster:
                                         category="driver",
                                         args={"worker": name},
                                     )
+                while pending_churn and time.monotonic() >= pending_churn[0][0]:
+                    _, name, action = pending_churn.pop(0)
+                    if action == "leave":
+                        churn_leave(name)
+                    elif action == "return":
+                        churn_return(name)
+                    else:
+                        raise ValueError(f"unknown churn action {action!r}")
                 while driver_end.poll(0.05):
                     try:
                         envelope = recv_envelope(driver_end)
@@ -242,7 +363,13 @@ class LocalCluster:
                         result.outcomes[envelope.payload.name] = envelope.payload
                     elif isinstance(envelope.payload, WorkerTelemetry):
                         worker_telemetry[envelope.payload.name] = envelope.payload
-                expected = {n for n in self.names if n not in killed}
+                if pending_churn:
+                    # A scheduled leave/return is still due; completion can
+                    # only be judged once the churn process has played out.
+                    continue
+                expected = {
+                    n for n in self.names if n not in killed and n not in churn_down
+                }
                 if expected.issubset(result.outcomes.keys()):
                     break
                 if all(not p.is_alive() for p in processes.values()):
@@ -250,6 +377,15 @@ class LocalCluster:
         finally:
             # Completion time excludes transport/process teardown below.
             result.wall_time = time.monotonic() - start
+            if churn_mode == "suspend":
+                # A SIGSTOPped process ignores SIGTERM until continued.
+                for name in list(churn_down):
+                    process = processes.get(name)
+                    if process is not None and process.is_alive():
+                        try:
+                            os.kill(process.pid, signal.SIGCONT)
+                        except (ProcessLookupError, OSError):  # pragma: no cover
+                            pass
             for process in processes.values():
                 if process.is_alive():
                     process.terminate()
@@ -262,6 +398,15 @@ class LocalCluster:
             router.stop()
 
         result.killed = killed
+        result.rejoined = rejoined
+        result.churned_out = sorted(churn_down)
+        for name in result.churned_out:
+            # A worker that left and never came back is not a survivor; any
+            # outcome it managed to flush before leaving must not count.
+            result.outcomes.pop(name, None)
+        result.unavailable_time = unavailable_time + sum(
+            max(0.0, result.wall_time - (down_at - start)) for down_at in churn_down.values()
+        )
         result.messages_forwarded = router.forwarded
         result.messages_dropped = router.dropped
         result.bytes_forwarded = router.bytes_forwarded

@@ -322,6 +322,12 @@ class EnvelopeRouter:
         #: by the driver when telemetry is on; appends from the router
         #: thread are GIL-atomic list operations, so no extra locking.
         self.tracer = None
+        #: Workers whose traffic is currently dropped (SIGSTOP churn).  A
+        #: stopped process cannot drain its pipe, so forwarding to it would
+        #: eventually fill the buffer and block the router thread; dropping
+        #: instead models the lossy network the paper assumes.  Mutated by
+        #: the driver thread; set operations are GIL-atomic.
+        self.paused: set = set()
 
     # ------------------------------------------------------------------ #
     # Transport interface
@@ -329,6 +335,22 @@ class EnvelopeRouter:
     def add_worker(self, name: str):  # pragma: no cover - interface
         """Register a worker; returns its endpoint (or ready connection)."""
         raise NotImplementedError
+
+    def remove_worker(self, name: str) -> None:
+        """Forget a worker's registration so the name can be registered again.
+
+        Used by churn restarts: the driver removes the departed worker,
+        respawns the process and calls :meth:`add_worker` with the same name
+        for a fresh endpoint.  Messages addressed to the name in between
+        count as dropped, like any message to a dead entity.
+        """
+        self.paused.discard(name)
+        conn = self._parent_ends.pop(name, None)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - platform dependent
+                pass
 
     def start(self) -> None:
         """Start the forwarding thread."""
@@ -391,7 +413,7 @@ class EnvelopeRouter:
                     self.dropped += 1
                     continue
                 destination = self._parent_ends.get(dest)
-                if destination is None:
+                if destination is None or dest in self.paused:
                     self.dropped += 1
                     continue
                 forward_start = time.time()
@@ -447,6 +469,16 @@ class PipeRouter(EnvelopeRouter):
         """The connection a worker process should use."""
         return self._child_ends[name]
 
+    def remove_worker(self, name: str) -> None:
+        """Forget both pipe ends (the churn-restart path)."""
+        super().remove_worker(name)
+        child = self._child_ends.pop(name, None)
+        if child is not None:
+            try:
+                child.close()
+            except OSError:  # pragma: no cover - platform dependent
+                pass
+
 
 class UdsRouter(EnvelopeRouter):
     """The Unix-domain-socket transport (the ROADMAP's cross-transport item).
@@ -489,6 +521,11 @@ class UdsRouter(EnvelopeRouter):
             raise ValueError(f"duplicate worker name: {name!r}")
         self._expected.add(name)
         return UdsEndpoint(self.address, name)
+
+    def remove_worker(self, name: str) -> None:
+        """Drop the identity so a respawned worker may re-identify."""
+        super().remove_worker(name)
+        self._expected.discard(name)
 
     def start(self) -> None:
         if self._thread is not None:

@@ -41,12 +41,22 @@ from .backends import (
 )
 from .registry import get_scenario, list_scenarios, register_scenario, scenario_names
 from .result import ScenarioResult, WorkerSummary, format_comparison
-from .spec import CRITICAL, FailureSpec, Scenario, TelemetryConfig, WorkloadSpec
+from .spec import (
+    CRITICAL,
+    AvailabilitySpec,
+    ChurnSpec,
+    FailureSpec,
+    Scenario,
+    TelemetryConfig,
+    WorkloadSpec,
+)
 
 __all__ = [
     "Scenario",
     "WorkloadSpec",
     "FailureSpec",
+    "AvailabilitySpec",
+    "ChurnSpec",
     "TelemetryConfig",
     "CRITICAL",
     "ScenarioResult",

@@ -32,7 +32,7 @@ from ..obs.ingest import ingest_scenario_totals
 from ..simulation.failures import CrashEvent
 from ..simulation.network import Partition
 from .result import ScenarioResult, WorkerSummary
-from .spec import Scenario, translate_canonical
+from .spec import ChurnSchedule, Scenario, translate_canonical
 
 logger = get_logger("scenario.runner")
 
@@ -176,11 +176,29 @@ def _reference_key(scenario: Scenario) -> Scenario:
         name="__reference__",
         description="",
         failures=(),
+        churn=None,
         enable_trace=False,
         telemetry=None,
         compute_uniprocessor_time=False,
         uniprocessor_time=None,
     )
+
+
+def _resolve_churn(
+    scenario: Scenario, names: Sequence[str], backend_name: str
+) -> Optional["ChurnSchedule"]:
+    """Materialise the scenario's churn spec against one backend's names.
+
+    A distribution-driven spec without an explicit horizon gets one from the
+    backend's failure-free makespan (×1.5, so the churn process outlives the
+    undisturbed run — mirroring how fractional failure times resolve).
+    """
+    if scenario.churn is None:
+        return None
+    horizon = scenario.churn.horizon
+    if scenario.churn.needs_horizon():
+        horizon = 1.5 * _reference_makespan(backend_name, _reference_key(scenario))
+    return scenario.churn.resolve(names, default_seed=scenario.seed, horizon=horizon)
 
 
 def _baseline_telemetry(
@@ -251,12 +269,28 @@ class SimulatedBackend:
         events = _resolve_failures(
             scenario, names, critical=names[0], reference_makespan=reference
         )
+        churn = _resolve_churn(scenario, names, self.name)
+        config = scenario.config
+        churn_events: List[Tuple[float, str, str]] = []
+        churn_mode = "restart"
+        worker_speeds: Dict[str, float] = {}
+        if churn is not None:
+            # Churn makes fault handling emergent: peer eviction must come
+            # from the live failure detector, and a terminated group must be
+            # able to answer a late rejoiner — flip both on for this run.
+            config = config.with_overrides(failure_detector=True, termination_echo=True)
+            churn_events = churn.events()
+            churn_mode = churn.mode
+            worker_speeds = dict(churn.speeds)
         result = run_tree_simulation(
             tree,
             scenario.n_workers,
-            config=scenario.config,
+            config=config,
             network=network,
             failures=events,
+            churn_events=churn_events,
+            churn_mode=churn_mode,
+            worker_speeds=worker_speeds,
             seed=scenario.seed,
             granularity=scenario.granularity,
             prune=scenario.prune,
@@ -297,6 +331,9 @@ class SimulatedBackend:
             total_nodes_expanded=result.total_nodes_expanded,
             redundant_nodes_expanded=result.redundant_nodes_expanded,
             recoveries=sum(w.recoveries for w in workers.values()),
+            evictions=sum(s.peers_evicted for s in result.workers.values()),
+            rejoins=sum(s.rejoins for s in result.workers.values()),
+            unavailable_time=sum(s.unavailable_time for s in result.workers.values()),
             messages_total=result.network.messages_sent if result.network else 0,
             bytes_total=result.total_bytes_sent,
             bytes_by_kind=dict(result.bytes_by_kind),
@@ -348,6 +385,12 @@ class CentralBackend:
         events = _resolve_failures(
             scenario, names, critical="manager", reference_makespan=reference
         )
+        churn = _resolve_churn(scenario, names, self.name)
+        if churn is not None:
+            # No rejoin path in the centralised baseline: a churned worker's
+            # first leave becomes a permanent crash (later windows are moot).
+            for victim, when in sorted(churn.first_leaves().items()):
+                events.append(CrashEvent(when, victim))
         result = run_central_simulation(
             problem,
             scenario.n_workers,
@@ -431,6 +474,12 @@ class DibBackend:
         events = _resolve_failures(
             scenario, names, critical=names[0], reference_makespan=reference
         )
+        churn = _resolve_churn(scenario, names, self.name)
+        if churn is not None:
+            # DIB redoes a departed worker's responsibilities but has no
+            # rejoin path either: first leave = permanent crash.
+            for victim, when in sorted(churn.first_leaves().items()):
+                events.append(CrashEvent(when, victim))
         result = run_dib_simulation(
             problem,
             scenario.n_workers,
@@ -513,8 +562,25 @@ class RealexecBackend:
             )
             for spec in scenario.failures
         ]
-        result = cluster.run(kill_schedule=kill_schedule)
+        churn = None
+        if scenario.churn is not None:
+            # Churn times are wall-clock seconds here.  A distribution-driven
+            # spec without an explicit horizon uses the run's wall-clock cap
+            # (there is no cheap failure-free reference run to measure).
+            # Per-worker speed multipliers are simulation-only and ignored.
+            horizon = scenario.churn.horizon
+            if scenario.churn.needs_horizon():
+                horizon = scenario.max_seconds
+            churn = scenario.churn.resolve(
+                cluster.names, default_seed=scenario.seed, horizon=horizon
+            )
+        result = cluster.run(
+            kill_schedule=kill_schedule,
+            churn_schedule=churn.events() if churn is not None else (),
+            churn_mode=churn.mode if churn is not None else "restart",
+        )
 
+        departed = set(result.killed) | set(result.churned_out)
         workers = {
             name: WorkerSummary(
                 name=name,
@@ -522,12 +588,12 @@ class RealexecBackend:
                 reports_sent=outcome.reports_sent,
                 recoveries=outcome.recoveries,
                 best_value=outcome.best_value,
-                crashed=name in result.killed,
+                crashed=name in departed,
                 terminated=outcome.terminated,
             )
             for name, outcome in result.outcomes.items()
         }
-        for name in result.killed:
+        for name in departed:
             workers.setdefault(name, WorkerSummary(name=name, crashed=True))
         survivors = [w for w in workers.values() if not w.crashed]
         scenario_result = ScenarioResult(
@@ -538,9 +604,11 @@ class RealexecBackend:
             best_value=result.best_value,
             reference_optimum=result.reference_optimum,
             terminated=result.surviving_terminated,
-            crashed_workers=tuple(result.killed),
+            crashed_workers=tuple(result.killed) + tuple(result.churned_out),
             total_nodes_expanded=sum(w.nodes_expanded for w in workers.values()),
             recoveries=sum(w.recoveries for w in survivors),
+            rejoins=len(result.rejoined),
+            unavailable_time=result.unavailable_time,
             messages_total=result.messages_forwarded,
             bytes_total=result.bytes_forwarded,
             bytes_by_kind=dict(result.bytes_by_kind),

@@ -13,7 +13,7 @@ from typing import Dict, List
 
 from ..distributed.runner import NetworkConfig
 from ..simulation.network import Partition
-from .spec import FailureSpec, Scenario, WorkloadSpec
+from .spec import AvailabilitySpec, ChurnSpec, FailureSpec, Scenario, WorkloadSpec
 
 __all__ = ["register_scenario", "get_scenario", "list_scenarios", "scenario_names"]
 
@@ -107,6 +107,31 @@ register_scenario(
         seed=31,
         wire_generations=(2, 1, 2, 1),
         max_seconds=40.0,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="campus-churn",
+        description=(
+            "The paper's campus-network deployment in miniature: five "
+            "heterogeneous desktops (speed multipliers 0.6-1.4×) churn with "
+            "exponential up/down times; departures are detected by the live "
+            "heartbeat failure detector, returners re-converge through "
+            "gossip first contact, and the group still terminates on the "
+            "optimum"
+        ),
+        workload=WorkloadSpec(kind="random", nodes=301, mean_node_time=0.01, seed=13),
+        n_workers=5,
+        seed=13,
+        churn=ChurnSpec(
+            availability=(AvailabilitySpec(worker=4, down=((1.0, 2.0),)),),
+            mean_uptime=2.0,
+            mean_downtime=0.4,
+            start_after=0.5,
+            horizon=6.0,
+            speed_range=(0.6, 1.4),
+        ),
     )
 )
 

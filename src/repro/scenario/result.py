@@ -78,6 +78,12 @@ class ScenarioResult:
     redundant_nodes_expanded: int = 0
     #: Fault-tolerance activations (recoveries / reassignments / redos).
     recoveries: int = 0
+    #: Peer evictions driven by the live failure detector (churn runs).
+    evictions: int = 0
+    #: Workers that left and successfully returned (churn runs).
+    rejoins: int = 0
+    #: Total worker-seconds spent unavailable to churn (churn runs).
+    unavailable_time: float = 0.0
     #: Messages injected into the transport.
     messages_total: int = 0
     #: Bytes injected into the transport.
@@ -140,6 +146,9 @@ class ScenarioResult:
             "nodes_expanded": self.total_nodes_expanded,
             "redundant_work_fraction": round(self.redundant_work_fraction(), 4),
             "recoveries": self.recoveries,
+            "evictions": self.evictions,
+            "rejoins": self.rejoins,
+            "unavailable_time_s": round(self.unavailable_time, 3),
             "messages": self.messages_total,
             "bytes_sent": self.bytes_total,
             "speedup": None if self.speedup() is None else round(self.speedup(), 2),

@@ -21,9 +21,10 @@ machine, or plain ``worker-00`` for the designs that have no critical node.
 
 from __future__ import annotations
 
+import random
 import re
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..bnb.basic_tree import BasicTree
 from ..bnb.pool import SelectionRule
@@ -34,6 +35,9 @@ from ..obs import TelemetryConfig
 __all__ = [
     "WorkloadSpec",
     "FailureSpec",
+    "AvailabilitySpec",
+    "ChurnSpec",
+    "ChurnSchedule",
     "Scenario",
     "TelemetryConfig",
     "CRITICAL",
@@ -237,6 +241,212 @@ class FailureSpec:
         return 0.5
 
 
+#: Churn modes: a leaving worker is either frozen in place (``suspend``, the
+#: SIGSTOP/laptop-lid model) or loses all volatile state and rejoins with a
+#: higher incarnation (``restart``, the reboot/kill+rejoin model).
+_CHURN_MODES = ("restart", "suspend")
+
+
+@dataclass(frozen=True)
+class AvailabilitySpec:
+    """Explicit availability trace for one worker.
+
+    ``down`` is a tuple of ``(leave, return)`` intervals in simulated
+    seconds (wall-clock seconds on ``realexec``) during which the worker is
+    unavailable; ``float("inf")`` as a return time means the worker never
+    comes back.  ``speed`` is a relative speed multiplier applied to the
+    worker's node-expansion cost (2.0 = twice as fast), modelling the
+    heterogeneous desktops of the paper's campus-network deployment.
+    """
+
+    worker: Union[int, str]
+    down: Tuple[Tuple[float, float], ...] = ()
+    speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ValueError("speed must be positive")
+        windows = tuple((float(a), float(b)) for a, b in self.down)
+        previous_end = -1.0
+        for leave, ret in windows:
+            if leave < 0:
+                raise ValueError("availability windows cannot start before t=0")
+            if ret <= leave:
+                raise ValueError(
+                    f"availability window ({leave:g}, {ret:g}) must have return > leave"
+                )
+            if leave <= previous_end:
+                raise ValueError("availability windows must be sorted and non-overlapping")
+            previous_end = ret
+        object.__setattr__(self, "down", windows)
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """A churn/availability process over the whole worker population.
+
+    Two sources, freely mixed:
+
+    * **trace-driven** — explicit :class:`AvailabilitySpec` entries in
+      ``availability`` pin individual workers to exact leave/return windows
+      (and per-worker speeds);
+    * **distribution-driven** — when ``mean_uptime`` is set, every worker
+      without an explicit entry (and not in ``spare``) draws alternating
+      exponential up/down intervals seeded from ``seed`` (falling back to
+      the scenario seed), over ``[start_after, horizon)``.  A ``None``
+      horizon is resolved by the backend as a multiple of the failure-free
+      makespan, mirroring ``FailureSpec.at_fraction``.
+
+    ``mode`` picks the paper-relevant semantics: ``"restart"`` (a returning
+    worker lost its pool and completed-table view and must re-converge via
+    gossip first contact) or ``"suspend"`` (the worker is frozen and resumes
+    with its state intact, as under SIGSTOP).  ``speed_range`` draws uniform
+    per-worker speed multipliers for workers without an explicit speed.
+    """
+
+    availability: Tuple[AvailabilitySpec, ...] = ()
+    #: Mean up-interval (exponential) enabling distribution-driven churn.
+    mean_uptime: Optional[float] = None
+    #: Mean down-interval (exponential) for distribution-driven churn.
+    mean_downtime: float = 0.5
+    #: No distribution-driven leave is drawn before this time.
+    start_after: float = 0.0
+    #: End of the distribution-driven churn process; ``None`` = resolved by
+    #: the backend from the failure-free makespan.
+    horizon: Optional[float] = None
+    #: Workers exempt from distribution-driven churn (canonical refs).  The
+    #: default keeps worker-00 — the root holder, and the critical node of
+    #: the baseline designs — always available.
+    spare: Tuple[Union[int, str], ...] = (0,)
+    #: Uniform range for drawn per-worker speed multipliers.
+    speed_range: Optional[Tuple[float, float]] = None
+    mode: str = "restart"
+    #: Churn-process seed; ``None`` = derive from the scenario seed.
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in _CHURN_MODES:
+            raise ValueError(f"unknown churn mode {self.mode!r} (known: {_CHURN_MODES})")
+        object.__setattr__(self, "availability", tuple(self.availability))
+        object.__setattr__(self, "spare", tuple(self.spare))
+        if self.mean_uptime is not None and self.mean_uptime <= 0:
+            raise ValueError("mean_uptime must be positive")
+        if self.mean_downtime <= 0:
+            raise ValueError("mean_downtime must be positive")
+        if self.start_after < 0:
+            raise ValueError("start_after must be non-negative")
+        if self.horizon is not None and self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if self.speed_range is not None:
+            low, high = self.speed_range
+            if low <= 0 or high < low:
+                raise ValueError("speed_range must be (low, high) with 0 < low <= high")
+            object.__setattr__(self, "speed_range", (float(low), float(high)))
+        seen = set()
+        for entry in self.availability:
+            index = canonical_index(entry.worker)
+            key = index if index is not None else str(entry.worker)
+            if key in seen:
+                raise ValueError(f"duplicate availability entry for worker {entry.worker!r}")
+            seen.add(key)
+
+    def needs_horizon(self) -> bool:
+        """True when distribution-driven churn needs a resolved horizon."""
+        return self.mean_uptime is not None and self.horizon is None
+
+    def resolve(
+        self,
+        names: Sequence[str],
+        *,
+        default_seed: int,
+        horizon: Optional[float] = None,
+    ) -> "ChurnSchedule":
+        """Materialise the churn process against one backend's worker names.
+
+        Deterministic: the same spec, names and seeds always produce the
+        same schedule.  Per-worker draws are seeded from the worker *index*
+        (never from hashing the name — ``PYTHONHASHSEED`` randomisation
+        would break reproducibility) so the schedule is identical across
+        backends whose names differ only by prefix.
+        """
+        if horizon is None:
+            horizon = self.horizon
+        if self.mean_uptime is not None and horizon is None:
+            raise ValueError(
+                "distribution-driven churn needs a horizon (set ChurnSpec.horizon "
+                "or let the backend resolve it from the failure-free makespan)"
+            )
+        base_seed = self.seed if self.seed is not None else default_seed
+        windows: Dict[str, Tuple[Tuple[float, float], ...]] = {}
+        speeds: Dict[str, float] = {}
+        explicit = set()
+        for entry in self.availability:
+            name = translate_canonical(entry.worker, names)
+            explicit.add(name)
+            if entry.down:
+                windows[name] = entry.down
+            if entry.speed != 1.0:
+                speeds[name] = entry.speed
+        spare = {translate_canonical(ref, names) for ref in self.spare}
+        for index, name in enumerate(names):
+            stream = random.Random(base_seed * 1_000_003 + 7919 * index)
+            if (
+                self.mean_uptime is not None
+                and name not in explicit
+                and name not in spare
+            ):
+                assert horizon is not None
+                drawn: List[Tuple[float, float]] = []
+                now = self.start_after + stream.expovariate(1.0 / self.mean_uptime)
+                while now < horizon:
+                    down_for = stream.expovariate(1.0 / self.mean_downtime)
+                    drawn.append((now, now + down_for))
+                    now += down_for + stream.expovariate(1.0 / self.mean_uptime)
+                if drawn:
+                    windows[name] = tuple(drawn)
+            if self.speed_range is not None and name not in explicit:
+                low, high = self.speed_range
+                speeds[name] = stream.uniform(low, high)
+        return ChurnSchedule(mode=self.mode, windows=windows, speeds=speeds)
+
+
+@dataclass(frozen=True)
+class ChurnSchedule:
+    """A resolved churn process: concrete windows per backend worker name.
+
+    Produced by :meth:`ChurnSpec.resolve`; consumed by the backends as
+    plain ``(time, worker, action)`` tuples so the simulation layer never
+    imports the scenario package.
+    """
+
+    mode: str
+    windows: Dict[str, Tuple[Tuple[float, float], ...]]
+    speeds: Dict[str, float]
+
+    def events(self) -> List[Tuple[float, str, str]]:
+        """All ``(time, worker, action)`` events, time-ordered.
+
+        ``action`` is ``"leave"`` or ``"return"``; a window returning at
+        ``inf`` emits only its leave.
+        """
+        events: List[Tuple[float, str, str]] = []
+        for name, intervals in self.windows.items():
+            for leave, ret in intervals:
+                events.append((leave, name, "leave"))
+                if ret != float("inf"):
+                    events.append((ret, name, "return"))
+        events.sort()
+        return events
+
+    def first_leaves(self) -> Dict[str, float]:
+        """Each churned worker's first leave time (for crash-only backends)."""
+        return {
+            name: intervals[0][0]
+            for name, intervals in self.windows.items()
+            if intervals
+        }
+
+
 def _default_algorithm_config() -> AlgorithmConfig:
     # Depth-first selection matches the paper's experiments (random trees are
     # replayed without elimination, so depth-first keeps the pools small).
@@ -268,6 +478,9 @@ class Scenario:
     config: AlgorithmConfig = field(default_factory=_default_algorithm_config)
     network: NetworkConfig = field(default_factory=NetworkConfig.paper_default)
     failures: Tuple[FailureSpec, ...] = ()
+    #: Churn/availability process (worker leave/return, speeds, flapping);
+    #: ``None`` = every worker stays up unless ``failures`` kills it.
+    churn: Optional[ChurnSpec] = None
     #: Replay the tree with dynamic pruning against the incumbent.
     prune: bool = False
     #: Constant factor applied to all node times.
@@ -319,6 +532,11 @@ class Scenario:
             raise ValueError("granularity must be non-negative")
         if self.failures:
             object.__setattr__(self, "failures", tuple(self.failures))
+        if self.churn is not None and self.shards > 1:
+            raise ValueError(
+                "churn is not supported with shards > 1 (the failure detector "
+                "and rejoin path need the single-process engine)"
+            )
 
     # ------------------------------------------------------------------ #
     # Convenience
@@ -336,5 +554,12 @@ class Scenario:
         return worker_names(self.n_workers)
 
     def needs_reference_run(self) -> bool:
-        """True when a failure is scheduled as a fraction of the makespan."""
-        return any(spec.at_fraction is not None for spec in self.failures)
+        """True when a failure is scheduled as a fraction of the makespan.
+
+        Also true for distribution-driven churn without an explicit horizon:
+        the backend resolves the churn horizon from the same failure-free
+        reference run.
+        """
+        if any(spec.at_fraction is not None for spec in self.failures):
+            return True
+        return self.churn is not None and self.churn.needs_horizon()

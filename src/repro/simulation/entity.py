@@ -75,6 +75,12 @@ class Entity:
     def on_crash(self) -> None:
         """Called once when the entity crashes (override for cleanup/tracing)."""
 
+    def on_suspend(self) -> None:
+        """Called once when the entity is suspended (override for accounting)."""
+
+    def on_revive(self) -> None:
+        """Called once when a suspended entity comes back (override)."""
+
     # ------------------------------------------------------------------ #
     # Message handling
     # ------------------------------------------------------------------ #
@@ -139,6 +145,28 @@ class Entity:
         self.crashed_at = self.engine.now if self.engine is not None else None
         self.inbox.clear()
         self.on_crash()
+
+    def suspend(self) -> None:
+        """Take the entity offline *non-permanently* (churn leave).
+
+        While suspended the entity is indistinguishable from a crashed one
+        to the rest of the system — messages are dropped, timers do not
+        fire — but :meth:`revive` can bring it back.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashed_at = self.engine.now if self.engine is not None else None
+        self.inbox.clear()
+        self.on_suspend()
+
+    def revive(self) -> None:
+        """Bring a suspended entity back online (churn return)."""
+        if self.alive:
+            return
+        self.alive = True
+        self.crashed_at = None
+        self.on_revive()
 
     def __repr__(self) -> str:  # pragma: no cover - repr formatting only
         status = "alive" if self.alive else f"crashed@{self.crashed_at}"

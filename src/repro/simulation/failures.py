@@ -21,12 +21,18 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .engine import SimulationEngine
 from .network import Network
 
-__all__ = ["CrashEvent", "FailureInjector", "random_crash_schedule", "fractional_crash_schedule"]
+__all__ = [
+    "CrashEvent",
+    "FailureInjector",
+    "ChurnInjector",
+    "random_crash_schedule",
+    "fractional_crash_schedule",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -74,6 +80,101 @@ class FailureInjector:
 
     def __len__(self) -> int:
         return len(self.schedule)
+
+
+class ChurnInjector:
+    """Installs non-permanent leave/return (churn) events on an engine.
+
+    Unlike :class:`FailureInjector`, a "leave" here is survivable: the
+    entity is :meth:`~repro.simulation.entity.Entity.suspend`-ed, and a
+    later "return" event revives it.  ``mode`` selects the paper-relevant
+    return semantics:
+
+    * ``"suspend"`` — the worker resumes with its state intact (SIGSTOP /
+      closed laptop lid);
+    * ``"restart"`` — the worker's volatile state is wiped before revival
+      (the entity's duck-typed ``reset_for_rejoin()`` is invoked, if
+      present), modelling a reboot: the worker must re-converge through the
+      gossip first-contact path.
+
+    The injector only revives entities *it* suspended: a worker crashed
+    permanently by a concurrent :class:`FailureInjector` schedule is never
+    resurrected.  ``pending_returns`` counts returns still in the future so
+    the runner's stop condition can refuse to declare global termination
+    while a rejoin is imminent.
+    """
+
+    def __init__(
+        self,
+        events: Iterable[Tuple[float, str, str]] = (),
+        *,
+        mode: str = "restart",
+        on_return: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if mode not in ("restart", "suspend"):
+            raise ValueError(f"unknown churn mode {mode!r}")
+        self.events: List[Tuple[float, str, str]] = sorted(events)
+        self.mode = mode
+        self.on_return = on_return
+        #: ``(time, name)`` log of leaves/returns that actually happened.
+        self.left: List[Tuple[float, str]] = []
+        self.returned: List[Tuple[float, str]] = []
+        #: Return events not yet fired (guards the runner's stop condition).
+        self.pending_returns = sum(1 for _, _, action in self.events if action == "return")
+        self._suspended: Set[str] = set()
+
+    def install(self, engine: SimulationEngine, network: Network) -> None:
+        """Schedule every churn event on the engine."""
+        for time, name, action in self.events:
+            if action == "leave":
+                engine.schedule_at(time, self._make_leave(engine, network, name),
+                                   label=f"churn-leave:{name}")
+            elif action == "return":
+                engine.schedule_at(time, self._make_return(engine, network, name),
+                                   label=f"churn-return:{name}")
+            else:
+                raise ValueError(f"unknown churn action {action!r}")
+
+    def _make_leave(self, engine: SimulationEngine, network: Network, name: str):
+        def _leave() -> None:
+            try:
+                entity = network.entity(name)
+            except KeyError:
+                return
+            if entity.alive:
+                entity.suspend()
+                self._suspended.add(name)
+                self.left.append((engine.now, name))
+
+        return _leave
+
+    def _make_return(self, engine: SimulationEngine, network: Network, name: str):
+        def _return() -> None:
+            # Decrement first: even a skipped return (worker crashed for
+            # good in the meantime) must release the stop-condition guard.
+            self.pending_returns -= 1
+            if name not in self._suspended:
+                return
+            self._suspended.discard(name)
+            try:
+                entity = network.entity(name)
+            except KeyError:
+                return
+            if entity.alive:
+                return
+            if self.mode == "restart":
+                reset = getattr(entity, "reset_for_rejoin", None)
+                if reset is not None:
+                    reset()
+            entity.revive()
+            self.returned.append((engine.now, name))
+            if self.on_return is not None:
+                self.on_return(name)
+
+        return _return
+
+    def __len__(self) -> int:
+        return len(self.events)
 
 
 def random_crash_schedule(

@@ -144,6 +144,7 @@ class TestRunnerConstruction:
             "table_gossips",
             "delta_gossips",
             "gossip_acks",
+            "heartbeats",
         }
         # Per-kind byte accounting covers every message the run injected.
         assert sum(result.bytes_by_kind.values()) == result.total_bytes_sent

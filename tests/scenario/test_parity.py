@@ -13,6 +13,8 @@ import sys
 import pytest
 
 from repro.scenario import (
+    AvailabilitySpec,
+    ChurnSpec,
     FailureSpec,
     Scenario,
     ScenarioResult,
@@ -109,6 +111,67 @@ class TestCriticalNodeAsymmetry:
         assert not results["dib"].terminated
 
 
+#: The churn parity workload: long enough that the churn windows land well
+#: inside the run on every backend.
+CHURN_PARITY = Scenario(
+    name="churn-parity",
+    workload=WorkloadSpec(kind="random", nodes=201, mean_node_time=0.02, seed=23),
+    n_workers=4,
+    seed=5,
+)
+
+#: Seeded churn processes: a blip (leave and return), a permanent departure,
+#: and a distribution-driven process with an explicit horizon.
+CHURN_CASES = {
+    "blip": ChurnSpec(
+        availability=(AvailabilitySpec(worker=2, down=((0.3, 1.0),)),)
+    ),
+    "depart": ChurnSpec(
+        availability=(AvailabilitySpec(worker=1, down=((0.4, float("inf")),)),)
+    ),
+    "drawn": ChurnSpec(
+        mean_uptime=2.0, mean_downtime=0.3, start_after=0.4, horizon=2.5
+    ),
+}
+
+
+class TestChurnParity:
+    """Seeded churn matrix: every backend still reports the true optimum.
+
+    ``simulated`` honours the full leave/return process (live failure
+    detection, rejoin through gossip first contact); ``central`` and ``dib``
+    have no rejoin path, so each churned worker's first leave becomes a
+    permanent crash there — under either interpretation the reported
+    optimum must equal the failure-free optimum and the run must terminate.
+    """
+
+    @pytest.mark.parametrize("case", sorted(CHURN_CASES))
+    @pytest.mark.parametrize("seed", [5, 17])
+    def test_churn_matrix_agrees_on_the_optimum(self, case, seed):
+        scenario = CHURN_PARITY.with_overrides(
+            name=f"churn-parity-{case}-{seed}", seed=seed, churn=CHURN_CASES[case]
+        )
+        optimum = scenario.build_tree().optimal_value()
+        results = compare_backends(scenario, SIMULATED_BACKENDS)
+        for name, result in results.items():
+            assert result.terminated, f"{name} did not survive churn ({case})"
+            assert result.solved_correctly, f"{name} missed the optimum ({case})"
+            assert result.best_value == pytest.approx(optimum), (name, case)
+
+    def test_churn_summary_schema_is_uniform(self):
+        scenario = CHURN_PARITY.with_overrides(churn=CHURN_CASES["blip"])
+        results = compare_backends(scenario, SIMULATED_BACKENDS)
+        shapes = {tuple(sorted(r.summary())) for r in results.values()}
+        assert len(shapes) == 1
+        # Only the simulated backend has a rejoin path; the blip registers.
+        assert results["simulated"].rejoins == 1
+        assert results["simulated"].unavailable_time == pytest.approx(0.7)
+
+    def test_churn_is_rejected_with_shards(self):
+        with pytest.raises(ValueError):
+            CHURN_PARITY.with_overrides(churn=CHURN_CASES["blip"], shards=2)
+
+
 @pytest.mark.skipif(sys.platform.startswith("win"), reason="POSIX multiprocessing only")
 class TestRealexecSmoke:
     """The quickstart scenario on real processes, both transports."""
@@ -138,3 +201,41 @@ class TestRealexecSmoke:
         result = run_scenario(scenario, backend="realexec")
         assert result.terminated and result.solved_correctly
         assert result.raw.n_workers == 4
+
+
+@pytest.mark.skipif(sys.platform.startswith("win"), reason="POSIX signals only")
+class TestRealexecChurnSmoke:
+    """Kill+rejoin on real OS processes, over both transports.
+
+    One worker is killed mid-run and respawned fresh (``has_root=False``)
+    shortly after; ``node_sleep`` stretches the run so the churn window
+    lands while everyone is still working.  The rejoined process must
+    re-converge through the gossip first-contact path and terminate with
+    the survivors on the true optimum.
+    """
+
+    @pytest.mark.parametrize("transport", ["pipe", "uds"])
+    def test_kill_and_rejoin(self, transport):
+        scenario = Scenario(
+            name=f"realexec-churn-{transport}",
+            workload=WorkloadSpec(kind="random", nodes=121, mean_node_time=0.005, seed=31),
+            n_workers=4,
+            seed=31,
+            transport=transport,
+            node_sleep=0.02,
+            max_seconds=60.0,
+            churn=ChurnSpec(
+                availability=(AvailabilitySpec(worker=2, down=((0.25, 0.6),)),),
+                mode="restart",
+            ),
+        )
+        result = run_scenario(scenario, backend="realexec")
+        assert result.raw.rejoined == ["rworker-02"]
+        assert result.raw.churned_out == []
+        assert result.crashed_workers == ()
+        assert result.rejoins == 1
+        assert result.unavailable_time > 0.0
+        assert result.terminated, "rejoined worker (or a survivor) never terminated"
+        assert result.solved_correctly
+        # The rejoined incarnation reported an outcome like any survivor.
+        assert "rworker-02" in result.raw.outcomes
