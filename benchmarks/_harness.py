@@ -16,7 +16,7 @@ Performance-regression workflow (tracked trajectory)
 ----------------------------------------------------
 ``bench_core_micro.py``, ``bench_wire_codec.py``, ``bench_delta_gossip.py``,
 ``bench_scenario_overhead.py``, ``bench_telemetry_overhead.py``,
-``bench_scale.py`` and ``bench_churn.py`` (the tuple
+``bench_scale.py``, ``bench_churn.py`` and ``bench_transport.py`` (the tuple
 ``BENCH_FILES`` in ``compare_baseline.py``) are additionally tracked against
 a checked-in baseline so PRs touching the hot paths can show their effect:
 

@@ -44,6 +44,7 @@ BENCH_FILES = (
     HERE / "bench_telemetry_overhead.py",
     HERE / "bench_scale.py",
     HERE / "bench_churn.py",
+    HERE / "bench_transport.py",
 )
 
 #: Where the tracked-benchmark set is documented.  When a tracked benchmark

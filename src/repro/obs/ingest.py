@@ -141,6 +141,12 @@ def ingest_router(registry: MetricsRegistry, router: Any) -> None:
         registry.counter("router_bytes_by_kind", kind=kind).inc(value)
     for kind, value in getattr(router, "kind_messages", {}).items():
         registry.counter("router_messages_by_kind", kind=kind).inc(value)
+    # A router running with live metrics (the forward-latency histograms
+    # observed inside the forwarding loop) carries its own registry; fold it
+    # in via its snapshot so bucket bounds round-trip exactly.
+    live = getattr(router, "metrics", None)
+    if live is not None:
+        registry.merge_snapshot(live.snapshot())
 
 
 def ingest_cluster_result(registry: MetricsRegistry, result: Any) -> MetricsRegistry:

@@ -91,6 +91,25 @@ class Histogram:
         self.sum += value
         self.count += 1
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-resolution quantile estimate (the bucket's upper bound).
+
+        Prometheus-style: the smallest bucket bound whose cumulative count
+        covers ``q`` of the observations, ``inf`` when the quantile falls in
+        the overflow bucket, ``None`` when nothing was observed.  Good
+        enough for threshold assertions ("p99 below 100ms"), not for
+        sub-bucket precision.
+        """
+        if self.count == 0:
+            return None
+        target = q * self.count
+        cumulative = 0
+        for bound, count in zip(self.bounds, self.counts):
+            cumulative += count
+            if cumulative >= target:
+                return bound
+        return float("inf")
+
 
 class MetricsRegistry:
     """Get-or-create registry of labeled counters, gauges and histograms."""

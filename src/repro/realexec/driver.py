@@ -45,7 +45,7 @@ class LocalClusterResult:
     unavailable_time: float = 0.0
     wall_time: float = 0.0
     reference_optimum: Optional[float] = None
-    #: Transport the cluster ran on (``pipe`` or ``uds``).
+    #: Transport the cluster ran on (``pipe``, ``uds`` or ``tcp``).
     transport: str = "pipe"
     #: Router traffic counters (real encoded bytes, not the analytic model).
     messages_forwarded: int = 0
@@ -121,8 +121,9 @@ class LocalCluster:
         per worker index (defaults to the current generation for all) — a
         mixed list models a rolling upgrade where generation-1 and
         generation-2 binaries coexist in one cluster.  ``transport`` selects
-        how the workers are wired: ``"pipe"`` (multiprocessing pipes) or
-        ``"uds"`` (Unix-domain sockets); the protocol bytes are identical."""
+        how the workers are wired: ``"pipe"`` (multiprocessing pipes),
+        ``"uds"`` (Unix-domain sockets) or ``"tcp"`` (a TCP listener the
+        workers dial); the protocol bytes are identical on all three."""
         if n_workers < 1:
             raise ValueError("n_workers must be at least 1")
         transport = validate_transport(transport)
@@ -217,6 +218,11 @@ class LocalCluster:
             # shifts everything onto the cluster-start origin at export.
             tracer = Tracer(process="driver", clock=time.time)
             router.tracer = tracer
+        if telemetry_cfg is not None and telemetry_cfg.metrics:
+            # The router observes per-link forward-latency histograms into
+            # this live registry; ingest_router folds it into the merged
+            # telemetry after the run.
+            router.metrics = MetricsRegistry()
 
         self._tree_data = self.tree.to_dict()
         processes: Dict[str, mp.Process] = {}

@@ -11,7 +11,8 @@ A backend turns one :class:`~repro.scenario.spec.Scenario` into one
   (:func:`~repro.baselines.dib.run_dib_simulation`);
 * ``realexec``  — real OS processes over a pluggable transport
   (:class:`~repro.realexec.driver.LocalCluster`; ``Scenario(transport=
-  "uds")`` selects Unix-domain sockets instead of pipes).
+  "uds")`` selects Unix-domain sockets and ``Scenario(transport="tcp")``
+  a TCP listener instead of pipes).
 
 Backends translate the scenario's canonical worker names (``worker-NN``)
 into their own naming, resolve fractional failure times by running a
@@ -529,7 +530,7 @@ class DibBackend:
 class RealexecBackend:
     """The same core objects on real ``multiprocessing`` workers.
 
-    Honours ``Scenario.transport`` (``"pipe"`` or ``"uds"``),
+    Honours ``Scenario.transport`` (``"pipe"``, ``"uds"`` or ``"tcp"``),
     ``wire_generations`` (rolling upgrades), ``node_sleep`` and
     ``max_seconds``.  Failure times are wall-clock
     (:meth:`~repro.scenario.spec.FailureSpec.wall_clock_delay`).

@@ -23,6 +23,7 @@ Examples::
     python -m repro run figure3 --backend simulated
     python -m repro run quickstart --trace quickstart.json --metrics
     python -m repro run quickstart --backend realexec --transport uds
+    python -m repro run quickstart --backend realexec --transport tcp
     python -m repro compare crash-storm --backends simulated,central,dib
     python -m repro inspect quickstart.json
 """

@@ -499,7 +499,8 @@ class Scenario:
     max_sim_time: Optional[float] = None
     max_events: Optional[int] = None
     # ----- realexec-only knobs (ignored by the simulated backends) -------- #
-    #: Transport between real worker processes: ``"pipe"`` or ``"uds"``.
+    #: Transport between real worker processes: ``"pipe"``, ``"uds"`` or
+    #: ``"tcp"`` (validated against the realexec transport registry).
     transport: str = "pipe"
     #: Per-worker wire-format generation (rolling-upgrade runs).
     wire_generations: Optional[Tuple[int, ...]] = None

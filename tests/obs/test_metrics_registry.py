@@ -107,3 +107,54 @@ class TestRssSampler:
         assert sampler.samples >= 1
         assert sampler.peak_mb is not None and sampler.peak_mb > 0
         assert gauge.peak == sampler.peak_mb
+
+
+class TestHistogramQuantile:
+    def test_quantile_picks_covering_bucket_bound(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(0.001, 0.01, 0.1))
+        for _ in range(99):
+            hist.observe(0.0005)
+        hist.observe(0.05)
+        assert hist.quantile(0.5) == 0.001
+        assert hist.quantile(0.99) == 0.001
+        assert hist.quantile(1.0) == 0.1
+
+    def test_quantile_overflow_and_empty(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(0.001,))
+        assert hist.quantile(0.99) is None
+        hist.observe(5.0)
+        assert hist.quantile(0.99) == float("inf")
+
+
+class TestForwardLatencyFamilyRoundTrip:
+    """The realexec router's latency histograms survive snapshot/merge."""
+
+    def test_snapshot_merge_round_trip(self):
+        from repro.realexec.transport import FORWARD_LATENCY_BUCKETS
+
+        source = MetricsRegistry()
+        hist = source.histogram(
+            "router_forward_latency_seconds",
+            buckets=FORWARD_LATENCY_BUCKETS,
+            link="a->b",
+            transport="tcp",
+        )
+        for value in (0.00002, 0.0002, 0.002):
+            hist.observe(value)
+        merged = MetricsRegistry.from_snapshot(source.snapshot())
+        merged.merge_snapshot(source.snapshot())  # once more: buckets add
+        out = merged.histogram(
+            "router_forward_latency_seconds",
+            buckets=FORWARD_LATENCY_BUCKETS,
+            link="a->b",
+            transport="tcp",
+        )
+        assert out.count == 6
+        assert out.sum == pytest.approx(2 * (0.00002 + 0.0002 + 0.002))
+        assert out.bounds == tuple(FORWARD_LATENCY_BUCKETS)
+        key = "router_forward_latency_seconds{link=a->b,transport=tcp}"
+        assert key in merged.snapshot()["histograms"]
+        # And the family renders in the Prometheus exposition.
+        assert "router_forward_latency_seconds_bucket" in merged.to_prometheus()

@@ -5,7 +5,7 @@ The acceptance bar of the unified Scenario API: the same frozen
 and returns a :class:`~repro.scenario.result.ScenarioResult` with an
 identical schema; the three simulated backends agree on the optimal solution
 value and terminate; the realexec backend is smoke-tested on the quickstart
-scenario over both the ``pipe`` and ``uds`` transports.
+scenario over the ``pipe``, ``uds`` and ``tcp`` transports.
 """
 
 import sys
@@ -174,9 +174,9 @@ class TestChurnParity:
 
 @pytest.mark.skipif(sys.platform.startswith("win"), reason="POSIX multiprocessing only")
 class TestRealexecSmoke:
-    """The quickstart scenario on real processes, both transports."""
+    """The quickstart scenario on real processes, every transport."""
 
-    @pytest.mark.parametrize("transport", ["pipe", "uds"])
+    @pytest.mark.parametrize("transport", ["pipe", "uds", "tcp"])
     def test_quickstart_scenario_runs(self, transport):
         scenario = get_scenario("quickstart").with_overrides(
             failures=(), transport=transport, max_seconds=40.0
@@ -196,16 +196,18 @@ class TestRealexecSmoke:
         sim = run_scenario(PARITY, backend="simulated")
         assert sorted(real.summary()) == sorted(sim.summary())
 
-    def test_rolling_upgrade_scenario_on_realexec(self):
-        scenario = get_scenario("rolling-upgrade")
+    @pytest.mark.parametrize("transport", ["pipe", "tcp"])
+    def test_rolling_upgrade_scenario_on_realexec(self, transport):
+        scenario = get_scenario("rolling-upgrade").with_overrides(transport=transport)
         result = run_scenario(scenario, backend="realexec")
         assert result.terminated and result.solved_correctly
         assert result.raw.n_workers == 4
+        assert result.raw.transport == transport
 
 
 @pytest.mark.skipif(sys.platform.startswith("win"), reason="POSIX signals only")
 class TestRealexecChurnSmoke:
-    """Kill+rejoin on real OS processes, over both transports.
+    """Kill+rejoin on real OS processes, over every transport.
 
     One worker is killed mid-run and respawned fresh (``has_root=False``)
     shortly after; ``node_sleep`` stretches the run so the churn window
@@ -214,7 +216,7 @@ class TestRealexecChurnSmoke:
     the survivors on the true optimum.
     """
 
-    @pytest.mark.parametrize("transport", ["pipe", "uds"])
+    @pytest.mark.parametrize("transport", ["pipe", "uds", "tcp"])
     def test_kill_and_rejoin(self, transport):
         scenario = Scenario(
             name=f"realexec-churn-{transport}",

@@ -85,7 +85,7 @@ class TestScenario:
         with pytest.raises(ValueError):
             Scenario(n_workers=0)
         with pytest.raises(ValueError):
-            Scenario(transport="tcp")
+            Scenario(transport="carrier-pigeon")
         with pytest.raises(ValueError):
             Scenario(n_workers=3, wire_generations=(1, 2))
 
